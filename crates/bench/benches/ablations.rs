@@ -1,0 +1,49 @@
+//! Criterion bench of NVR ablation variants on one workload.
+use criterion::{criterion_group, criterion_main, Criterion};
+use nvr_common::DataWidth;
+use nvr_core::{NvrConfig, NvrPrefetcher, TriggerPolicy};
+use nvr_mem::{MemoryConfig, MemorySystem};
+use nvr_npu::{NpuConfig, NpuEngine};
+use nvr_workloads::{Scale, WorkloadId, WorkloadSpec};
+
+fn run_with(cfg: NvrConfig) -> u64 {
+    let spec = WorkloadSpec {
+        width: DataWidth::Fp16,
+        seed: 9,
+        scale: Scale::Tiny,
+    };
+    let program = WorkloadId::Ds.build(&spec);
+    let engine = NpuEngine::new(NpuConfig::default());
+    let mut mem = MemorySystem::new(MemoryConfig::default());
+    let mut nvr = NvrPrefetcher::new(cfg);
+    engine.run(&program, &mut mem, &mut nvr).total_cycles
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("nvr_ablations");
+    g.bench_function("default", |b| b.iter(|| run_with(NvrConfig::default())));
+    g.bench_function("no_lbd", |b| {
+        b.iter(|| {
+            run_with(NvrConfig {
+                use_lbd: false,
+                ..NvrConfig::default()
+            })
+        })
+    });
+    g.bench_function("on_stall", |b| {
+        b.iter(|| {
+            run_with(NvrConfig {
+                trigger: TriggerPolicy::OnStall,
+                ..NvrConfig::default()
+            })
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,16 @@
+//! Criterion bench regenerating Fig. 1b at test scale.
+use criterion::{criterion_group, criterion_main, Criterion};
+use nvr_workloads::Scale;
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("fig1b_sparsity_sweep", |b| {
+        b.iter(|| nvr_sim::figures::fig1b::run(Scale::Tiny, 1))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Criterion bench of the Fig. 5 unit of work: one workload under the
+//! in-order baseline and under NVR.
+use criterion::{criterion_group, criterion_main, Criterion};
+use nvr_bench::bench_unit;
+use nvr_sim::SystemKind;
+use nvr_workloads::WorkloadId;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5_latency");
+    for system in [SystemKind::InOrder, SystemKind::OutOfOrder, SystemKind::Nvr] {
+        g.bench_function(format!("ds_{}", system.label()), |b| {
+            b.iter(|| bench_unit(WorkloadId::Ds, system))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Criterion bench regenerating Fig. 6a/b on a workload subset.
+use criterion::{criterion_group, criterion_main, Criterion};
+use nvr_workloads::{Scale, WorkloadId};
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("fig6_acc_cov_subset", |b| {
+        b.iter(|| {
+            nvr_sim::figures::fig6::run_with_workloads(
+                Scale::Tiny,
+                2,
+                &[WorkloadId::H2o, WorkloadId::Mk],
+            )
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

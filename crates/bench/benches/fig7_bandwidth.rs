@@ -1,0 +1,21 @@
+//! Criterion bench of the Fig. 7 bandwidth-allocation collection.
+use criterion::{criterion_group, criterion_main, Criterion};
+use nvr_bench::bench_unit;
+use nvr_sim::SystemKind;
+use nvr_workloads::WorkloadId;
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("fig7_traffic_unit", |b| {
+        b.iter(|| {
+            let o = bench_unit(WorkloadId::Gsabt, SystemKind::Nvr);
+            o.result.mem.dram.demand_lines.get() + o.result.mem.dram.prefetch_lines.get()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

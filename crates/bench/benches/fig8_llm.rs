@@ -1,0 +1,15 @@
+//! Criterion bench regenerating Fig. 8 in fast mode.
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("fig8_llm_fast", |b| {
+        b.iter(|| nvr_sim::figures::fig8::run(3, true))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

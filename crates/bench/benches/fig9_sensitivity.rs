@@ -1,0 +1,16 @@
+//! Criterion bench of a Fig. 9 grid subset.
+use criterion::{criterion_group, criterion_main, Criterion};
+use nvr_workloads::Scale;
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("fig9_grid_subset", |b| {
+        b.iter(|| nvr_sim::figures::fig9::run_subset(Scale::Tiny, 4, &[4, 16], &[64, 256]))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,16 @@
+//! Criterion bench of the Table I storage model (pure computation).
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("table1_overhead_model", |b| {
+        b.iter(|| nvr_core::overhead_report(black_box(16), black_box(16)).total_bits())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,135 @@
+//! Ablations of NVR's design choices (the DESIGN.md ablation index):
+//! LBD on/off, trigger policy, VMIG width, fuzzy factor, lookahead budget.
+
+use nvr_bench::EXPERIMENT_SEED;
+use nvr_common::DataWidth;
+use nvr_core::{NvrConfig, NvrPrefetcher, TriggerPolicy};
+use nvr_mem::{MemoryConfig, MemorySystem};
+use nvr_npu::{NpuConfig, NpuEngine};
+use nvr_prefetch::NullPrefetcher;
+use nvr_workloads::{Scale, WorkloadId, WorkloadSpec};
+
+fn run_variant(label: &str, cfg: NvrConfig, workload: WorkloadId) {
+    let spec = WorkloadSpec {
+        width: DataWidth::Fp16,
+        seed: EXPERIMENT_SEED,
+        scale: Scale::Default,
+    };
+    let program = workload.build(&spec);
+    let engine = NpuEngine::new(NpuConfig::default());
+
+    let mut mem_base = MemorySystem::new(MemoryConfig::default());
+    let base = engine.run(&program, &mut mem_base, &mut NullPrefetcher::new());
+
+    let mut mem = MemorySystem::new(MemoryConfig::default());
+    let mut nvr = NvrPrefetcher::new(cfg);
+    let r = engine.run(&program, &mut mem, &mut nvr);
+    println!(
+        "{:>28} on {:>5}: {:>10} cycles, speedup {:>5.2}x, accuracy {:.2}, pack {:.1}",
+        label,
+        workload.short(),
+        r.total_cycles,
+        base.total_cycles as f64 / r.total_cycles as f64,
+        mem.prefetch_accuracy(),
+        nvr.vmig().mean_pack_width(),
+    );
+}
+
+/// NSB associativity sweep (§IV-G argues high-way mapping): same capacity,
+/// varying ways.
+fn nsb_associativity_ablation() {
+    use nvr_mem::CacheConfig;
+    println!("NSB associativity ablation (16 KB NSB, H2O, NVR+NSB)\n");
+    let spec = WorkloadSpec {
+        width: DataWidth::Fp16,
+        seed: EXPERIMENT_SEED,
+        scale: Scale::Default,
+    };
+    let program = WorkloadId::H2o.build(&spec);
+    let engine = NpuEngine::new(NpuConfig::default());
+    for ways in [1u64, 2, 4, 8, 16] {
+        let nsb = CacheConfig {
+            name: "NSB",
+            size_bytes: 16 * 1024,
+            ways,
+            hit_latency: 2,
+            mshr_entries: 16,
+        };
+        let mem_cfg = MemoryConfig::default().with_nsb(nsb);
+        let mut mem = MemorySystem::new(mem_cfg);
+        let mut nvr = NvrPrefetcher::new(NvrConfig::with_nsb());
+        let r = engine.run(&program, &mut mem, &mut nvr);
+        let s = mem.stats();
+        let nsb_stats = s.nsb.as_ref().expect("nsb present");
+        println!(
+            "  {ways:>2}-way: {:>9} cycles, NSB hit rate {:>5.1}%, NSB evictions {}",
+            r.total_cycles,
+            100.0 * (1.0 - nsb_stats.miss_rate()),
+            nsb_stats.evictions.get(),
+        );
+    }
+    println!();
+}
+
+fn main() {
+    println!("NVR design ablations (vs in-order no-prefetch baseline)\n");
+    nsb_associativity_ablation();
+    let default = NvrConfig::default;
+
+    for workload in [WorkloadId::Ds, WorkloadId::Gat, WorkloadId::Mk] {
+        run_variant("default", default(), workload);
+        run_variant(
+            "no LBD (fixed windows)",
+            NvrConfig {
+                use_lbd: false,
+                ..default()
+            },
+            workload,
+        );
+        run_variant(
+            "stall-triggered (DVR-style)",
+            NvrConfig {
+                trigger: TriggerPolicy::OnStall,
+                ..default()
+            },
+            workload,
+        );
+        for width in [4usize, 8, 32] {
+            run_variant(
+                match width {
+                    4 => "VMIG width 4",
+                    8 => "VMIG width 8",
+                    _ => "VMIG width 32",
+                },
+                NvrConfig {
+                    vector_width: width,
+                    ..default()
+                },
+                workload,
+            );
+        }
+        run_variant(
+            "no fuzzy range (factor 1.0)",
+            NvrConfig {
+                fuzzy_factor: 1.0,
+                ..default()
+            },
+            workload,
+        );
+        for lines in [128usize, 2048] {
+            run_variant(
+                if lines == 128 {
+                    "shallow lookahead (128 ln)"
+                } else {
+                    "deep lookahead (2048 ln)"
+                },
+                NvrConfig {
+                    lookahead_lines: lines,
+                    ..default()
+                },
+                workload,
+            );
+        }
+        println!();
+    }
+}

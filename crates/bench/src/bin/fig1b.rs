@@ -1,0 +1,6 @@
+//! Regenerates Fig. 1b (motivation: parameter reduction vs actual speedup).
+use nvr_bench::{experiment_scale, EXPERIMENT_SEED};
+
+fn main() {
+    println!("{}", nvr_sim::figures::fig1b::run(experiment_scale(), EXPERIMENT_SEED));
+}

@@ -1,0 +1,6 @@
+//! Regenerates Fig. 5 (normalised latency, four width panels).
+use nvr_bench::{experiment_scale, EXPERIMENT_SEED};
+
+fn main() {
+    println!("{}", nvr_sim::figures::fig5::run(experiment_scale(), EXPERIMENT_SEED));
+}

@@ -1,0 +1,6 @@
+//! Regenerates Fig. 6 (accuracy, coverage, data-movement optimisation).
+use nvr_bench::{experiment_scale, EXPERIMENT_SEED};
+
+fn main() {
+    println!("{}", nvr_sim::figures::fig6::run(experiment_scale(), EXPERIMENT_SEED));
+}

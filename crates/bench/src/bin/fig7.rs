@@ -1,0 +1,6 @@
+//! Regenerates Fig. 7 (bandwidth allocation with/without NSB).
+use nvr_bench::{experiment_scale, EXPERIMENT_SEED};
+
+fn main() {
+    println!("{}", nvr_sim::figures::fig7::run(experiment_scale(), EXPERIMENT_SEED));
+}

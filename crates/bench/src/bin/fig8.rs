@@ -1,0 +1,6 @@
+//! Regenerates Fig. 8 (LLM system-level evaluation).
+use nvr_bench::EXPERIMENT_SEED;
+
+fn main() {
+    println!("{}", nvr_sim::figures::fig8::run(EXPERIMENT_SEED, false));
+}

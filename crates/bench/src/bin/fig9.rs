@@ -1,0 +1,6 @@
+//! Regenerates Fig. 9 (NSB vs L2 sizing sensitivity).
+use nvr_bench::{experiment_scale, EXPERIMENT_SEED};
+
+fn main() {
+    println!("{}", nvr_sim::figures::fig9::run(experiment_scale(), EXPERIMENT_SEED));
+}

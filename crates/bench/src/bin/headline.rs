@@ -1,0 +1,6 @@
+//! Recomputes the paper's headline claims.
+use nvr_bench::{experiment_scale, EXPERIMENT_SEED};
+
+fn main() {
+    println!("{}", nvr_sim::figures::headline::run(experiment_scale(), EXPERIMENT_SEED));
+}

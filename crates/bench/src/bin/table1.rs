@@ -1,0 +1,4 @@
+//! Regenerates Table I (hardware storage overhead).
+fn main() {
+    println!("{}", nvr_sim::figures::table1::run());
+}

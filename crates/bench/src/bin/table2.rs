@@ -1,0 +1,4 @@
+//! Regenerates Table II (workload inventory).
+fn main() {
+    println!("{}", nvr_sim::figures::table2::run());
+}

@@ -1,0 +1,44 @@
+//! Shared helpers for the experiment binaries and Criterion benches.
+//!
+//! Every table and figure of the paper has a binary here that regenerates
+//! it (`cargo run --release -p nvr-bench --bin fig5`, etc.) and a Criterion
+//! bench that times the regeneration. DESIGN.md maps experiment ids to
+//! these targets.
+
+use nvr_common::DataWidth;
+use nvr_mem::MemoryConfig;
+use nvr_sim::{run_system, RunOutcome, SystemKind};
+use nvr_workloads::{Scale, WorkloadId, WorkloadSpec};
+
+/// Seed used by all experiment binaries, so printed numbers are stable.
+pub const EXPERIMENT_SEED: u64 = 2025;
+
+/// The evaluation scale used by the experiment binaries.
+#[must_use]
+pub fn experiment_scale() -> Scale {
+    Scale::Default
+}
+
+/// Runs one (workload, system) pair at bench scale — the unit of work the
+/// Criterion benches time.
+#[must_use]
+pub fn bench_unit(workload: WorkloadId, system: SystemKind) -> RunOutcome {
+    let spec = WorkloadSpec {
+        width: DataWidth::Fp16,
+        seed: EXPERIMENT_SEED,
+        scale: Scale::Tiny,
+    };
+    let program = workload.build(&spec);
+    run_system(&program, &MemoryConfig::default(), system)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_unit_runs() {
+        let o = bench_unit(WorkloadId::St, SystemKind::Nvr);
+        assert!(o.result.total_cycles > 0);
+    }
+}

@@ -1,0 +1,329 @@
+//! Byte addresses, cache-line addresses and contiguous regions.
+//!
+//! The whole simulator speaks 64-byte cache lines (the Gemmini/L2 line size
+//! used in the paper's configuration), so the line geometry is fixed here as
+//! the [`LINE_BYTES`] constant rather than threaded through every API.
+
+use std::fmt;
+
+/// Cache line size in bytes used throughout the simulator.
+pub const LINE_BYTES: u64 = 64;
+
+/// `log2(LINE_BYTES)`.
+pub const LINE_SHIFT: u32 = 6;
+
+/// A byte address in the simulated physical address space.
+///
+/// # Examples
+///
+/// ```
+/// use nvr_common::Addr;
+///
+/// let a = Addr::new(0x1000).offset(65);
+/// assert_eq!(a.raw(), 0x1041);
+/// assert_eq!(a.line().index(), 0x1041 >> 6);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Addr(u64);
+
+impl Addr {
+    /// Creates an address from a raw byte value.
+    #[inline]
+    #[must_use]
+    pub const fn new(raw: u64) -> Self {
+        Addr(raw)
+    }
+
+    /// The raw byte value.
+    #[inline]
+    #[must_use]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The cache line containing this address.
+    #[inline]
+    #[must_use]
+    pub const fn line(self) -> LineAddr {
+        LineAddr(self.0 >> LINE_SHIFT)
+    }
+
+    /// Byte offset of this address within its cache line.
+    #[inline]
+    #[must_use]
+    pub const fn line_offset(self) -> u64 {
+        self.0 & (LINE_BYTES - 1)
+    }
+
+    /// This address advanced by `bytes`.
+    #[inline]
+    #[must_use]
+    pub const fn offset(self, bytes: u64) -> Self {
+        Addr(self.0 + bytes)
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#010x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl From<u64> for Addr {
+    fn from(raw: u64) -> Self {
+        Addr(raw)
+    }
+}
+
+/// A cache-line index (byte address divided by [`LINE_BYTES`]).
+///
+/// Distinct from [`Addr`] so that cache bookkeeping code cannot accidentally
+/// mix byte and line arithmetic.
+///
+/// # Examples
+///
+/// ```
+/// use nvr_common::{Addr, LineAddr};
+///
+/// let line = Addr::new(0x1040).line();
+/// assert_eq!(line, LineAddr::new(0x41));
+/// assert_eq!(line.base(), Addr::new(0x1040));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct LineAddr(u64);
+
+impl LineAddr {
+    /// Creates a line address from a raw line index.
+    #[inline]
+    #[must_use]
+    pub const fn new(index: u64) -> Self {
+        LineAddr(index)
+    }
+
+    /// The raw line index.
+    #[inline]
+    #[must_use]
+    pub const fn index(self) -> u64 {
+        self.0
+    }
+
+    /// The byte address of the first byte of this line.
+    #[inline]
+    #[must_use]
+    pub const fn base(self) -> Addr {
+        Addr(self.0 << LINE_SHIFT)
+    }
+
+    /// The line `n` lines after this one.
+    #[inline]
+    #[must_use]
+    pub const fn step(self, n: u64) -> Self {
+        LineAddr(self.0 + n)
+    }
+}
+
+impl fmt::Display for LineAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{:#x}", self.0)
+    }
+}
+
+/// A contiguous byte region `[start, start + bytes)`.
+///
+/// Regions describe index-array slices, gathered rows and DMA transfers.
+///
+/// # Examples
+///
+/// ```
+/// use nvr_common::{Addr, Region};
+///
+/// let r = Region::new(Addr::new(0x1000), 130);
+/// assert_eq!(r.lines().count(), 3); // 0x1000..0x1082 spans 3 lines
+/// assert!(r.contains(Addr::new(0x1081)));
+/// assert!(!r.contains(Addr::new(0x1082)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Region {
+    start: Addr,
+    bytes: u64,
+}
+
+impl Region {
+    /// Creates a region starting at `start` spanning `bytes` bytes.
+    #[inline]
+    #[must_use]
+    pub const fn new(start: Addr, bytes: u64) -> Self {
+        Region { start, bytes }
+    }
+
+    /// An empty region at address zero.
+    #[inline]
+    #[must_use]
+    pub const fn empty() -> Self {
+        Region {
+            start: Addr::new(0),
+            bytes: 0,
+        }
+    }
+
+    /// First byte address of the region.
+    #[inline]
+    #[must_use]
+    pub const fn start(self) -> Addr {
+        self.start
+    }
+
+    /// One-past-the-end byte address.
+    #[inline]
+    #[must_use]
+    pub const fn end(self) -> Addr {
+        Addr(self.start.0 + self.bytes)
+    }
+
+    /// Length in bytes.
+    #[inline]
+    #[must_use]
+    pub const fn bytes(self) -> u64 {
+        self.bytes
+    }
+
+    /// Whether the region has zero length.
+    #[inline]
+    #[must_use]
+    pub const fn is_empty(self) -> bool {
+        self.bytes == 0
+    }
+
+    /// Whether `addr` falls within the region.
+    #[inline]
+    #[must_use]
+    pub const fn contains(self, addr: Addr) -> bool {
+        addr.0 >= self.start.0 && addr.0 < self.start.0 + self.bytes
+    }
+
+    /// Iterator over every cache line the region touches.
+    ///
+    /// An empty region yields no lines.
+    #[must_use]
+    pub fn lines(self) -> Lines {
+        if self.bytes == 0 {
+            // `next > last` encodes the exhausted iterator.
+            Lines { next: 1, last: 0 }
+        } else {
+            Lines {
+                next: self.start.line().index(),
+                last: Addr(self.start.0 + self.bytes - 1).line().index(),
+            }
+        }
+    }
+
+    /// Number of cache lines the region touches.
+    #[inline]
+    #[must_use]
+    pub fn line_count(self) -> u64 {
+        if self.bytes == 0 {
+            0
+        } else {
+            let first = self.start.line().index();
+            let last = Addr(self.start.0 + self.bytes - 1).line().index();
+            last - first + 1
+        }
+    }
+}
+
+impl fmt::Display for Region {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}..{})", self.start, self.end())
+    }
+}
+
+/// Iterator over the cache lines of a [`Region`], created by [`Region::lines`].
+#[derive(Debug, Clone)]
+pub struct Lines {
+    next: u64,
+    last: u64,
+}
+
+impl Iterator for Lines {
+    type Item = LineAddr;
+
+    fn next(&mut self) -> Option<LineAddr> {
+        if self.next > self.last {
+            None
+        } else {
+            let line = LineAddr(self.next);
+            self.next += 1;
+            Some(line)
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = (self.last + 1).saturating_sub(self.next) as usize;
+        (remaining, Some(remaining))
+    }
+}
+
+impl ExactSizeIterator for Lines {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addr_line_roundtrip() {
+        let a = Addr::new(0x1040);
+        assert_eq!(a.line().base(), Addr::new(0x1040));
+        let b = Addr::new(0x107f);
+        assert_eq!(b.line(), a.line());
+        assert_eq!(b.line_offset(), 0x3f);
+        assert_eq!(Addr::new(0x1080).line(), a.line().step(1));
+    }
+
+    #[test]
+    fn addr_display_is_hex() {
+        assert_eq!(Addr::new(0x1234).to_string(), "0x00001234");
+        assert_eq!(format!("{:x}", Addr::new(0xAB)), "ab");
+    }
+
+    #[test]
+    fn region_line_iteration_exact() {
+        let r = Region::new(Addr::new(0x1000), 64);
+        let lines: Vec<_> = r.lines().collect();
+        assert_eq!(lines, vec![LineAddr::new(0x40)]);
+
+        let r = Region::new(Addr::new(0x103f), 2); // straddles a boundary
+        assert_eq!(r.line_count(), 2);
+        assert_eq!(r.lines().count(), 2);
+    }
+
+    #[test]
+    fn region_empty_yields_nothing() {
+        let r = Region::new(Addr::new(0x1000), 0);
+        assert!(r.is_empty());
+        assert_eq!(r.line_count(), 0);
+        assert_eq!(r.lines().count(), 0);
+        assert!(!r.contains(Addr::new(0x1000)));
+    }
+
+    #[test]
+    fn region_contains_boundaries() {
+        let r = Region::new(Addr::new(100), 10);
+        assert!(r.contains(Addr::new(100)));
+        assert!(r.contains(Addr::new(109)));
+        assert!(!r.contains(Addr::new(110)));
+        assert!(!r.contains(Addr::new(99)));
+    }
+
+    #[test]
+    fn lines_size_hint_matches_count() {
+        let r = Region::new(Addr::new(0x0), 1000);
+        let it = r.lines();
+        assert_eq!(it.len(), r.line_count() as usize);
+    }
+}

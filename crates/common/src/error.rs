@@ -1,0 +1,56 @@
+//! The workspace-wide error type.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the NVR simulator crates.
+///
+/// # Examples
+///
+/// ```
+/// use nvr_common::NvrError;
+///
+/// let err = NvrError::Config("L2 size must be a power of two".into());
+/// assert!(err.to_string().contains("power of two"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NvrError {
+    /// A configuration value was invalid or inconsistent.
+    Config(String),
+    /// A string failed to parse into a simulator type.
+    Parse(String),
+    /// A workload specification could not be realised.
+    Workload(String),
+}
+
+impl fmt::Display for NvrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NvrError::Config(msg) => write!(f, "invalid configuration: {msg}"),
+            NvrError::Parse(msg) => write!(f, "parse error: {msg}"),
+            NvrError::Workload(msg) => write!(f, "workload error: {msg}"),
+        }
+    }
+}
+
+impl Error for NvrError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_prefixed() {
+        assert_eq!(
+            NvrError::Parse("bad".into()).to_string(),
+            "parse error: bad"
+        );
+    }
+
+    #[test]
+    fn is_send_sync() {
+        fn assert_traits<T: Send + Sync + Error>() {}
+        assert_traits::<NvrError>();
+    }
+}

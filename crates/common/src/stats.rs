@@ -1,0 +1,314 @@
+//! Lightweight statistics primitives shared by the timing models.
+
+use std::fmt;
+
+/// A monotonically increasing event counter.
+///
+/// # Examples
+///
+/// ```
+/// use nvr_common::Counter;
+///
+/// let mut c = Counter::new();
+/// c.add(3);
+/// c.inc();
+/// assert_eq!(c.get(), 4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// A counter starting at zero.
+    #[inline]
+    #[must_use]
+    pub const fn new() -> Self {
+        Counter(0)
+    }
+
+    /// Increments by one.
+    #[inline]
+    pub fn inc(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Increments by `n`.
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Current value.
+    #[inline]
+    #[must_use]
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(&self.0, f)
+    }
+}
+
+/// A numerator/denominator pair reported as a rate.
+///
+/// Used for hit rates, prefetch accuracy, and coverage, where both parts are
+/// interesting on their own ([C-INTERMEDIATE]).
+///
+/// # Examples
+///
+/// ```
+/// use nvr_common::Ratio;
+///
+/// let mut hit_rate = Ratio::new();
+/// hit_rate.record(true);
+/// hit_rate.record(false);
+/// assert_eq!(hit_rate.rate(), 0.5);
+/// ```
+///
+/// [C-INTERMEDIATE]: https://rust-lang.github.io/api-guidelines/flexibility.html
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Ratio {
+    hits: u64,
+    total: u64,
+}
+
+impl Ratio {
+    /// An empty ratio (rate reported as 0).
+    #[inline]
+    #[must_use]
+    pub const fn new() -> Self {
+        Ratio { hits: 0, total: 0 }
+    }
+
+    /// Creates a ratio from raw parts.
+    #[inline]
+    #[must_use]
+    pub const fn from_parts(hits: u64, total: u64) -> Self {
+        Ratio { hits, total }
+    }
+
+    /// Records one observation; `hit` contributes to the numerator.
+    #[inline]
+    pub fn record(&mut self, hit: bool) {
+        self.total += 1;
+        if hit {
+            self.hits += 1;
+        }
+    }
+
+    /// Numerator.
+    #[inline]
+    #[must_use]
+    pub const fn hits(self) -> u64 {
+        self.hits
+    }
+
+    /// Denominator.
+    #[inline]
+    #[must_use]
+    pub const fn total(self) -> u64 {
+        self.total
+    }
+
+    /// Misses (denominator minus numerator).
+    #[inline]
+    #[must_use]
+    pub const fn misses(self) -> u64 {
+        self.total - self.hits
+    }
+
+    /// The rate in `[0, 1]`; `0` when empty.
+    #[inline]
+    #[must_use]
+    pub fn rate(self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.total as f64
+        }
+    }
+
+    /// Merges another ratio into this one.
+    pub fn merge(&mut self, other: Ratio) {
+        self.hits += other.hits;
+        self.total += other.total;
+    }
+}
+
+impl fmt::Display for Ratio {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{} ({:.1}%)", self.hits, self.total, self.rate() * 100.0)
+    }
+}
+
+/// A fixed-bucket latency histogram with power-of-two bucket edges.
+///
+/// Records per-access latencies so stall distributions can be inspected
+/// without storing every sample.
+///
+/// # Examples
+///
+/// ```
+/// use nvr_common::Histogram;
+///
+/// let mut h = Histogram::new();
+/// h.record(3);
+/// h.record(300);
+/// assert_eq!(h.count(), 2);
+/// assert!(h.mean() > 100.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    /// `buckets[i]` counts samples with `value < 2^i` (and ≥ the previous edge).
+    buckets: [u64; 32],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Histogram {
+            buckets: [0; 32],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        let bucket = (64 - value.leading_zeros()).min(31) as usize;
+        self.buckets[bucket] += 1;
+        self.count += 1;
+        self.sum += value;
+        self.max = self.max.max(value);
+    }
+
+    /// Number of samples recorded.
+    #[inline]
+    #[must_use]
+    pub const fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    #[inline]
+    #[must_use]
+    pub const fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest sample seen (0 when empty).
+    #[inline]
+    #[must_use]
+    pub const fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.1} max={}",
+            self.count,
+            self.mean(),
+            self.max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let mut c = Counter::new();
+        c.inc();
+        c.add(10);
+        assert_eq!(c.get(), 11);
+        assert_eq!(c.to_string(), "11");
+    }
+
+    #[test]
+    fn ratio_rate_and_merge() {
+        let mut r = Ratio::new();
+        assert_eq!(r.rate(), 0.0);
+        for i in 0..10 {
+            r.record(i % 2 == 0);
+        }
+        assert_eq!(r.hits(), 5);
+        assert_eq!(r.misses(), 5);
+        assert!((r.rate() - 0.5).abs() < 1e-12);
+
+        let mut other = Ratio::from_parts(10, 10);
+        other.merge(r);
+        assert_eq!(other.total(), 20);
+        assert_eq!(other.hits(), 15);
+    }
+
+    #[test]
+    fn histogram_mean_and_max() {
+        let mut h = Histogram::new();
+        assert_eq!(h.mean(), 0.0);
+        h.record(0);
+        h.record(10);
+        h.record(20);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.max(), 20);
+        assert!((h.mean() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_merge_is_additive() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(5);
+        b.record(100);
+        b.record(1_000_000);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.max(), 1_000_000);
+        assert_eq!(a.sum(), 1_000_105);
+    }
+
+    #[test]
+    fn histogram_huge_values_clamp_to_last_bucket() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.max(), u64::MAX);
+    }
+}

@@ -1,0 +1,107 @@
+//! Operand data widths evaluated in the paper (Fig. 5).
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::error::NvrError;
+
+/// Element width of NPU operands.
+///
+/// The paper evaluates INT8, FP16 and INT32 configurations; wider elements
+/// occupy more cache-line capacity per value, raising the miss probability
+/// of gathers (§V-B).
+///
+/// # Examples
+///
+/// ```
+/// use nvr_common::DataWidth;
+///
+/// assert_eq!(DataWidth::Fp16.bytes(), 2);
+/// assert_eq!("int8".parse::<DataWidth>()?, DataWidth::Int8);
+/// # Ok::<(), nvr_common::NvrError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum DataWidth {
+    /// 8-bit integer operands.
+    #[default]
+    Int8,
+    /// 16-bit floating-point operands.
+    Fp16,
+    /// 32-bit integer operands.
+    Int32,
+}
+
+impl DataWidth {
+    /// All widths in the order the paper reports them.
+    pub const ALL: [DataWidth; 3] = [DataWidth::Int8, DataWidth::Fp16, DataWidth::Int32];
+
+    /// Bytes per element.
+    #[inline]
+    #[must_use]
+    pub const fn bytes(self) -> u64 {
+        match self {
+            DataWidth::Int8 => 1,
+            DataWidth::Fp16 => 2,
+            DataWidth::Int32 => 4,
+        }
+    }
+
+    /// Elements that fit in one cache line.
+    #[inline]
+    #[must_use]
+    pub const fn elems_per_line(self) -> u64 {
+        crate::LINE_BYTES / self.bytes()
+    }
+}
+
+impl fmt::Display for DataWidth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DataWidth::Int8 => "INT8",
+            DataWidth::Fp16 => "FP16",
+            DataWidth::Int32 => "INT32",
+        };
+        f.write_str(s)
+    }
+}
+
+impl FromStr for DataWidth {
+    type Err = NvrError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "int8" | "i8" => Ok(DataWidth::Int8),
+            "fp16" | "f16" => Ok(DataWidth::Fp16),
+            "int32" | "i32" => Ok(DataWidth::Int32),
+            other => Err(NvrError::Parse(format!("unknown data width `{other}`"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_and_lane_counts() {
+        assert_eq!(DataWidth::Int8.bytes(), 1);
+        assert_eq!(DataWidth::Fp16.bytes(), 2);
+        assert_eq!(DataWidth::Int32.bytes(), 4);
+        assert_eq!(DataWidth::Int8.elems_per_line(), 64);
+        assert_eq!(DataWidth::Fp16.elems_per_line(), 32);
+        assert_eq!(DataWidth::Int32.elems_per_line(), 16);
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        for w in DataWidth::ALL {
+            let parsed: DataWidth = w.to_string().parse().expect("roundtrip");
+            assert_eq!(parsed, w);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_unknown() {
+        assert!("int64".parse::<DataWidth>().is_err());
+    }
+}

@@ -1,0 +1,133 @@
+//! NVR configuration.
+
+use nvr_common::NvrError;
+
+/// When NVR enters runahead (§III Q&A1 vs the DVR-style alternative).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TriggerPolicy {
+    /// Proactive: runahead whenever an NPU load instruction is in execution
+    /// (the paper's design — prefetching for the *next* loads while the
+    /// current one runs).
+    #[default]
+    OnLoad,
+    /// Reactive: runahead only once a demand gather has actually missed
+    /// (ablation: DVR-style triggering inside the NVR datapath).
+    OnStall,
+}
+
+/// Tuning knobs of the NVR prefetcher.
+///
+/// # Examples
+///
+/// ```
+/// use nvr_core::NvrConfig;
+///
+/// let cfg = NvrConfig::default();
+/// assert_eq!(cfg.vector_width, 16);
+/// cfg.validate()?;
+/// # Ok::<(), nvr_common::NvrError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct NvrConfig {
+    /// Parallel entries N — the vector processing width (Table I, N=16).
+    pub vector_width: usize,
+    /// Cache-line budget of outstanding speculative coverage: runahead may
+    /// keep at most this many prefetched-but-unconsumed lines ahead of the
+    /// ROB head. Expressed in lines (not tiles) so the depth adapts to row
+    /// width — fat rows get shallow lookahead (less L2 thrash), thin rows
+    /// get deep lookahead (more latency hiding).
+    pub lookahead_lines: usize,
+    /// Fuzzy-range factor applied to predicted windows (§III,
+    /// coverage-oriented philosophy): >1 over-fetches slightly to secure
+    /// whole batches at the cost of some redundancy.
+    pub fuzzy_factor: f64,
+    /// Whether the Loop Bound Detector clips predicted windows (ablation:
+    /// without it, NVR overruns like a fixed-distance runahead).
+    pub use_lbd: bool,
+    /// Whether prefetches also fill the NSB (only meaningful when the
+    /// memory system has one).
+    pub fill_nsb: bool,
+    /// Runahead entry policy.
+    pub trigger: TriggerPolicy,
+}
+
+impl NvrConfig {
+    /// The configuration used when an NSB is present (§IV-G).
+    #[must_use]
+    pub fn with_nsb() -> Self {
+        NvrConfig {
+            fill_nsb: true,
+            ..NvrConfig::default()
+        }
+    }
+
+    /// Checks the configuration is realisable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NvrError::Config`] if a knob is zero or the fuzzy factor is
+    /// not in `[1.0, 2.0]`.
+    pub fn validate(&self) -> Result<(), NvrError> {
+        if self.vector_width == 0 || self.lookahead_lines == 0 {
+            return Err(NvrError::Config(
+                "NVR vector width and lookahead budget must be non-zero".into(),
+            ));
+        }
+        if !(1.0..=2.0).contains(&self.fuzzy_factor) {
+            return Err(NvrError::Config(format!(
+                "fuzzy factor {} outside [1.0, 2.0]",
+                self.fuzzy_factor
+            )));
+        }
+        Ok(())
+    }
+}
+
+impl Default for NvrConfig {
+    fn default() -> Self {
+        NvrConfig {
+            vector_width: 16,
+            lookahead_lines: 256,
+            fuzzy_factor: 1.1,
+            use_lbd: true,
+            fill_nsb: false,
+            trigger: TriggerPolicy::OnLoad,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        NvrConfig::default().validate().expect("valid");
+        NvrConfig::with_nsb().validate().expect("valid");
+        assert!(NvrConfig::with_nsb().fill_nsb);
+    }
+
+    #[test]
+    fn invalid_knobs_rejected() {
+        let bad = NvrConfig {
+            vector_width: 0,
+            ..NvrConfig::default()
+        };
+        assert!(bad.validate().is_err());
+        let bad = NvrConfig {
+            lookahead_lines: 0,
+            ..NvrConfig::default()
+        };
+        assert!(bad.validate().is_err());
+        let bad = NvrConfig {
+            fuzzy_factor: 3.0,
+            ..NvrConfig::default()
+        };
+        assert!(bad.validate().is_err());
+        let bad = NvrConfig {
+            fuzzy_factor: 0.5,
+            ..NvrConfig::default()
+        };
+        assert!(bad.validate().is_err());
+    }
+}

@@ -1,0 +1,663 @@
+//! The NVR controller: runahead orchestration (§III, §IV-A/C).
+//!
+//! The controller monitors CPU and NPU state via the snoopers and, whenever
+//! an NPU load is in flight and the sparse-operators unit is idle, advances
+//! a speculative *runahead pointer* over future tiles:
+//!
+//! 1. **window prediction** — exact bounds for the tile at the ROB head
+//!    (sparse-unit registers); LBD-chained predictions beyond it;
+//! 2. **index fetch** — the window's index lines are prefetched (SD-guided
+//!    stream loads) and the runahead thread waits for their fills — this is
+//!    real speculative execution, never oracle access;
+//! 3. **chain resolution** — the PIE evaluates `sparse_func` on the fetched
+//!    index values, `vector_width` lanes per cycle, scheduling intermediate
+//!    table probes for two-level chains;
+//! 4. **vector issue** — resolved target lines drain through the VMIG as
+//!    one vectorised prefetch per cycle, filling L2 (and the NSB when
+//!    configured).
+//!
+//! All work is paced by an internal clock that only moves inside the
+//! `[from, to)` windows the engine grants — idle periods of the sparse
+//! unit — so NVR's speculation consumes exactly the slack resources the
+//! paper claims (§III Q&A3).
+
+use nvr_common::{Addr, Cycle};
+use nvr_mem::MemorySystem;
+use nvr_prefetch::Prefetcher;
+use nvr_trace::event::PC_INDEX_LOAD;
+use nvr_trace::{AccessEvent, EventKind, MemoryImage, SnoopState};
+
+use crate::config::{NvrConfig, TriggerPolicy};
+use crate::loop_bound::{LoopBoundDetector, Window};
+use crate::sparse_chain::SparseChainDetector;
+use crate::stride_detector::StrideDetector;
+use crate::vmig::Vmig;
+
+/// Progress of the runahead thread within one speculative tile.
+#[derive(Debug, Clone)]
+enum Phase {
+    /// Index lines prefetched; waiting until `ready` before reading values.
+    FetchIndex {
+        window: Window,
+        ready: Cycle,
+    },
+    /// Reading values / evaluating `sparse_func` group by group.
+    Resolve {
+        window: Window,
+        next_elem: u64,
+    },
+    /// Two-level chains: waiting for probe fills of the current group.
+    ProbeWait {
+        window: Window,
+        next_elem: u64,
+        probes: Vec<Addr>,
+        ready: Cycle,
+    },
+}
+
+#[derive(Debug, Clone)]
+struct Runahead {
+    phase: Phase,
+}
+
+impl Runahead {
+    /// The element window this episode covers.
+    fn window(&self) -> Window {
+        match self.phase {
+            Phase::FetchIndex { window, .. }
+            | Phase::Resolve { window, .. }
+            | Phase::ProbeWait { window, .. } => window,
+        }
+    }
+}
+
+/// What the runahead thread accomplished in one cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StepOutcome {
+    /// Useful work happened (fetch issued, group resolved, window opened).
+    Worked,
+    /// Blocked on a speculative fill until the given cycle.
+    Blocked(Cycle),
+    /// No work available (depth bound reached or kernel exhausted).
+    Idle,
+}
+
+/// The NVR prefetcher (see module docs).
+///
+/// # Examples
+///
+/// ```
+/// use nvr_core::{NvrConfig, NvrPrefetcher};
+/// use nvr_prefetch::Prefetcher;
+///
+/// let nvr = NvrPrefetcher::new(NvrConfig::with_nsb());
+/// assert!(nvr.fills_nsb());
+/// ```
+#[derive(Debug, Clone)]
+pub struct NvrPrefetcher {
+    cfg: NvrConfig,
+    sd: StrideDetector,
+    lbd: LoopBoundDetector,
+    scd: SparseChainDetector,
+    vmig: Vmig,
+    clock: Cycle,
+    state: Option<Runahead>,
+    current_tile: usize,
+    miss_seen_in_tile: bool,
+    /// Monotone element-space cursor: everything below it has either been
+    /// demanded by the NPU or already resolved by runahead. Guarantees each
+    /// index element is speculatively executed at most once, so restarted
+    /// runahead never re-floods the cache with shifted re-predictions.
+    covered_until: u64,
+}
+
+impl NvrPrefetcher {
+    /// Creates an NVR instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`NvrConfig::validate`].
+    #[must_use]
+    pub fn new(cfg: NvrConfig) -> Self {
+        cfg.validate().expect("nvr config must be valid");
+        NvrPrefetcher {
+            sd: StrideDetector::new(cfg.vector_width),
+            lbd: LoopBoundDetector::new(cfg.fuzzy_factor),
+            scd: SparseChainDetector::new(),
+            vmig: Vmig::new(cfg.vector_width),
+            clock: 0,
+            state: None,
+            current_tile: 0,
+            miss_seen_in_tile: false,
+            covered_until: 0,
+            cfg,
+        }
+    }
+
+    /// The VMIG issue statistics (vectors, lines, mean pack width).
+    #[must_use]
+    pub fn vmig(&self) -> &Vmig {
+        &self.vmig
+    }
+
+    /// Whether the runahead thread is mid-tile (for tests).
+    #[must_use]
+    pub fn in_runahead(&self) -> bool {
+        self.state.is_some()
+    }
+
+    /// Opens the next speculative window at the coverage cursor, bounded
+    /// in element space by the lookahead line budget and clipped at the
+    /// kernel's estimated end (LBD) so fixed-distance overrun cannot
+    /// happen.
+    fn try_start(&mut self, snoop: &SnoopState) -> bool {
+        let len = if self.cfg.use_lbd {
+            self.lbd.predicted_len()
+        } else {
+            (self.cfg.vector_width * 4) as u64
+        };
+        if len == 0 {
+            return false;
+        }
+        let start = self.covered_until;
+        // Depth bound: the line budget divided by the chain's row width
+        // gives how many elements of coverage may be outstanding past the
+        // NPU's consumption pointer.
+        let row_lines = self
+            .scd
+            .entry()
+            .map_or(1, |e| nvr_common::div_ceil(e.row_bytes, nvr_common::LINE_BYTES).max(1));
+        let max_ahead = (self.cfg.lookahead_lines as u64 / row_lines).max(self.cfg.vector_width as u64);
+        if start >= snoop.elem_consumed + max_ahead {
+            #[cfg(feature = "nvr-debug")]
+            eprintln!("NVR bound: start={} consumed={} max_ahead={}", start, snoop.elem_consumed, max_ahead);
+            return false;
+        }
+        let mut end = start + len;
+        if self.cfg.use_lbd {
+            if let Some(array_end) = self.lbd.estimated_end(snoop.total_tiles) {
+                if start >= array_end {
+                    return false;
+                }
+                end = end.min(array_end);
+            }
+        }
+        let window = Window {
+            start,
+            end,
+            exact: false,
+        };
+        // Commit the coverage immediately so a mid-tile reset cannot
+        // re-predict (and re-flood) the same element range.
+        self.covered_until = window.end;
+        #[cfg(feature = "nvr-debug")]
+        eprintln!(
+            "NVR window [{}, {}) cur={} clock={}",
+            window.start, window.end, self.current_tile, self.clock
+        );
+        self.state = Some(Runahead {
+            phase: Phase::FetchIndex { window, ready: 0 },
+        });
+        true
+    }
+
+    /// Issues index-line prefetches for `window`, plus one window-length of
+    /// SD stream-ahead (§IV-B: the stride detector keeps the W/index stream
+    /// flowing ahead of resolution, so the next window's FetchIndex finds
+    /// its lines resident instead of paying a serialised DRAM round trip).
+    /// Returns the fill-ready cycle of the window's own lines.
+    fn fetch_index_lines(
+        &mut self,
+        window: Window,
+        snoop: &SnoopState,
+        mem: &mut MemorySystem,
+    ) -> Cycle {
+        let start = snoop.index_elem_addr(window.start);
+        let bytes = window.len() * 4;
+        let region = nvr_common::Region::new(start, bytes);
+        let mut ready = self.clock;
+        for line in region.lines() {
+            if !self.sd.note_prefetched(PC_INDEX_LOAD, line) {
+                continue;
+            }
+            match mem.prefetch_line(line, self.clock, self.cfg.fill_nsb) {
+                nvr_mem::PrefetchOutcome::Issued { fill_done } => ready = ready.max(fill_done),
+                nvr_mem::PrefetchOutcome::Redundant => {
+                    // Already resident or in flight (e.g. from stream-ahead):
+                    // wait for its actual fill, not zero.
+                    if let Some(t) = mem.line_ready_time(line, self.clock) {
+                        ready = ready.max(t);
+                    }
+                }
+                nvr_mem::PrefetchOutcome::Dropped => {}
+            }
+        }
+        // Stream-ahead: the next window's index lines (their fill time is
+        // irrelevant now — they only need to be in flight before that
+        // window resolves).
+        let ahead = nvr_common::Region::new(region.end(), bytes);
+        for line in ahead.lines() {
+            if self.sd.note_prefetched(PC_INDEX_LOAD, line) {
+                let _ = mem.prefetch_line(line, self.clock, self.cfg.fill_nsb);
+            }
+        }
+        ready
+    }
+
+    /// One cycle of runahead-thread work. Returns what the thread did so
+    /// the advance loop can overlap VMIG issue with blocked waits.
+    fn step(
+        &mut self,
+        snoop: &SnoopState,
+        image: &MemoryImage,
+        mem: &mut MemorySystem,
+    ) -> StepOutcome {
+        let Some(mut st) = self.state.take() else {
+            return if self.try_start(snoop) {
+                StepOutcome::Worked
+            } else {
+                StepOutcome::Idle
+            };
+        };
+        match st.phase {
+            Phase::FetchIndex { window, ready } => {
+                let ready = if ready == 0 {
+                    self.fetch_index_lines(window, snoop, mem)
+                } else {
+                    ready
+                };
+                if ready > self.clock {
+                    st.phase = Phase::FetchIndex { window, ready };
+                    self.state = Some(st);
+                    return StepOutcome::Blocked(ready);
+                }
+                st.phase = Phase::Resolve {
+                    window,
+                    next_elem: window.start,
+                };
+                self.state = Some(st);
+                StepOutcome::Worked
+            }
+            Phase::Resolve { window, next_elem } => {
+                if next_elem >= window.end {
+                    // Window done; open the next one.
+                    return if self.try_start(snoop) {
+                        StepOutcome::Worked
+                    } else {
+                        StepOutcome::Idle
+                    };
+                }
+                let group_end = (next_elem + self.cfg.vector_width as u64).min(window.end);
+                let values: Vec<u32> = (next_elem..group_end)
+                    .map(|e| image.read_u32(snoop.index_elem_addr(e)))
+                    .collect();
+                if self.scd.is_two_level() {
+                    // Schedule probe fills for the group.
+                    let mut probes = Vec::with_capacity(values.len());
+                    let mut ready = self.clock;
+                    for &v in &values {
+                        let probe = self.scd.probe_addr(v).expect("two-level entry");
+                        if let nvr_mem::PrefetchOutcome::Issued { fill_done } =
+                            mem.prefetch_line(probe.line(), self.clock, self.cfg.fill_nsb)
+                        {
+                            ready = ready.max(fill_done);
+                        }
+                        probes.push(probe);
+                    }
+                    st.phase = Phase::ProbeWait {
+                        window,
+                        next_elem: group_end,
+                        probes,
+                        ready,
+                    };
+                    self.state = Some(st);
+                    return StepOutcome::Worked;
+                } else {
+                    let mut bundle = Vec::with_capacity(values.len());
+                    for &v in &values {
+                        if let Some(target) = self.scd.predict_and_track(v) {
+                            bundle.extend(target.lines());
+                        }
+                    }
+                    self.vmig.push_bundle(bundle);
+                    st.phase = Phase::Resolve {
+                        window,
+                        next_elem: group_end,
+                    };
+                    self.state = Some(st);
+                }
+                StepOutcome::Worked
+            }
+            Phase::ProbeWait {
+                window,
+                next_elem,
+                ref probes,
+                ready,
+            } => {
+                if ready > self.clock {
+                    self.state = Some(st);
+                    return StepOutcome::Blocked(ready);
+                }
+                let mut bundle = Vec::with_capacity(probes.len());
+                for probe in probes {
+                    let slot = image.read_u32(*probe);
+                    if let Some(target) = self.scd.predict_and_track(slot) {
+                        bundle.extend(target.lines());
+                    }
+                }
+                self.vmig.push_bundle(bundle);
+                st.phase = Phase::Resolve { window, next_elem };
+                self.state = Some(st);
+                StepOutcome::Worked
+            }
+        }
+    }
+}
+
+impl Prefetcher for NvrPrefetcher {
+    fn name(&self) -> &'static str {
+        "NVR"
+    }
+
+    fn fills_nsb(&self) -> bool {
+        self.cfg.fill_nsb
+    }
+
+    fn observe(
+        &mut self,
+        event: &AccessEvent,
+        _snoop: &SnoopState,
+        _image: &MemoryImage,
+        _mem: &mut MemorySystem,
+    ) {
+        match event.kind {
+            EventKind::IndexLoad { .. } => {
+                self.sd.observe(PC_INDEX_LOAD, event.addr);
+            }
+            EventKind::GatherLoad if event.missed => {
+                self.miss_seen_in_tile = true;
+            }
+            _ => {}
+        }
+    }
+
+    fn advance(
+        &mut self,
+        from: Cycle,
+        to: Cycle,
+        snoop: &SnoopState,
+        image: &MemoryImage,
+        mem: &mut MemorySystem,
+    ) {
+        // Snoop ingestion is free (hardware registers).
+        self.lbd.set_total_tiles(snoop.total_tiles);
+        if snoop.window_len() > 0 {
+            self.lbd.observe(snoop.tile, snoop.elem_start, snoop.elem_end);
+        }
+        if let Some(g) = snoop.gather {
+            self.scd.observe_gather(&g);
+        }
+        // The NPU has demand-loaded everything up to its progress pointer.
+        self.covered_until = self.covered_until.max(snoop.elem_consumed);
+        if snoop.tile != self.current_tile {
+            self.current_tile = snoop.tile;
+            self.miss_seen_in_tile = false;
+        }
+        // Abandon a parked window the NPU has already demand-loaded past.
+        if let Some(st) = &self.state {
+            if st.window().end <= snoop.elem_consumed {
+                self.state = None;
+            }
+        }
+        self.clock = self.clock.max(from);
+        if !snoop.sparse_unit_idle {
+            // The sparse unit is busy with real work; NVR waits (§III).
+            self.clock = self.clock.max(to);
+            return;
+        }
+        if self.cfg.trigger == TriggerPolicy::OnStall && !self.miss_seen_in_tile {
+            return;
+        }
+
+        // Per cycle: the VIGU issue port drains one vector while the
+        // runahead thread (sparse unit + PIE) makes independent progress —
+        // they are separate hardware units. The VIGU holds partial bundles
+        // while resolution is flowing (that is its purpose) and flushes
+        // whenever the thread blocks or runs dry.
+        while self.clock < to {
+            let flowing = matches!(
+                self.state.as_ref().map(|st| &st.phase),
+                Some(Phase::Resolve { .. })
+            );
+            let issued = if self.vmig.pending() >= self.cfg.vector_width || !flowing {
+                self.vmig.issue(mem, self.clock, self.cfg.fill_nsb) > 0
+            } else {
+                false
+            };
+            let outcome = self.step(snoop, image, mem);
+            match outcome {
+                StepOutcome::Worked => {
+                    self.clock += 1;
+                }
+                StepOutcome::Blocked(until) => {
+                    if issued || !self.vmig.is_empty() {
+                        // Keep draining the queue cycle by cycle while the
+                        // thread waits on its fill.
+                        self.clock += 1;
+                    } else {
+                        // Nothing to issue: fast-forward to the fill.
+                        self.clock = until.min(to).max(self.clock + 1);
+                    }
+                }
+                StepOutcome::Idle => {
+                    if !issued && self.vmig.is_empty() {
+                        break;
+                    }
+                    self.clock += 1;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvr_common::{DataWidth, Region};
+    use nvr_mem::MemoryConfig;
+    use nvr_npu::{NpuConfig, NpuEngine};
+    use nvr_prefetch::NullPrefetcher;
+    use nvr_trace::{GatherDesc, NpuProgram, SparseFunc, TileOp};
+
+    /// A gather-heavy program over a large IA space (mostly cold misses
+    /// without prefetching).
+    fn sparse_program(tiles_n: usize, per_tile: usize) -> NpuProgram {
+        let mut image = MemoryImage::new();
+        let index_base = Addr::new(0x10_0000);
+        let n = tiles_n * per_tile;
+        let indices: Vec<u32> = (0..n)
+            .map(|i| MemoryImage::background(Addr::new(i as u64 * 4)) % (1 << 18))
+            .collect();
+        image.add_u32_segment(index_base, indices);
+        let func = SparseFunc::Affine {
+            ia_base: Addr::new(0x1_0000_0000),
+            row_bytes: 64,
+        };
+        let tiles: Vec<TileOp> = (0..tiles_n)
+            .map(|i| TileOp {
+                id: i,
+                index_region: Region::new(
+                    index_base.offset((i * per_tile) as u64 * 4),
+                    per_tile as u64 * 4,
+                ),
+                gather: Some(GatherDesc { func, batch: 16 }),
+                dma_bytes: 0,
+                compute_cycles: 200,
+                store_bytes: 0,
+            })
+            .collect();
+        NpuProgram {
+            name: "nvr-unit".into(),
+            width: DataWidth::Int8,
+            tiles,
+            image,
+        }
+    }
+
+    #[test]
+    fn nvr_beats_no_prefetch_end_to_end() {
+        let program = sparse_program(32, 64);
+        let engine = NpuEngine::new(NpuConfig::default());
+
+        let mut mem_base = MemorySystem::new(MemoryConfig::default());
+        let base = engine.run(&program, &mut mem_base, &mut NullPrefetcher::new());
+
+        let mut mem_nvr = MemorySystem::new(MemoryConfig::default());
+        let mut nvr = NvrPrefetcher::new(NvrConfig::default());
+        let with_nvr = engine.run(&program, &mut mem_nvr, &mut nvr);
+
+        assert!(
+            with_nvr.total_cycles * 2 < base.total_cycles,
+            "NVR {} vs baseline {}",
+            with_nvr.total_cycles,
+            base.total_cycles
+        );
+        // Misses visible to the NPU collapse.
+        assert!(
+            with_nvr.gather_element_misses * 3 < base.gather_element_misses,
+            "NVR misses {} vs baseline {}",
+            with_nvr.gather_element_misses,
+            base.gather_element_misses
+        );
+    }
+
+    #[test]
+    fn nvr_accuracy_is_high_on_uniform_tiles() {
+        let program = sparse_program(32, 64);
+        let engine = NpuEngine::new(NpuConfig::default());
+        let mut mem = MemorySystem::new(MemoryConfig::default());
+        let mut nvr = NvrPrefetcher::new(NvrConfig::default());
+        let _ = engine.run(&program, &mut mem, &mut nvr);
+        let acc = mem.prefetch_accuracy();
+        assert!(acc > 0.85, "accuracy {acc} should exceed 0.85");
+    }
+
+    #[test]
+    fn vmig_packs_multiple_lines_per_vector() {
+        let program = sparse_program(16, 64);
+        let engine = NpuEngine::new(NpuConfig::default());
+        let mut mem = MemorySystem::new(MemoryConfig::default());
+        let mut nvr = NvrPrefetcher::new(NvrConfig::default());
+        let _ = engine.run(&program, &mut mem, &mut nvr);
+        assert!(
+            nvr.vmig().mean_pack_width() > 2.0,
+            "pack width {}",
+            nvr.vmig().mean_pack_width()
+        );
+    }
+
+    #[test]
+    fn disabling_lbd_hurts_accuracy() {
+        let program = sparse_program(32, 64);
+        let engine = NpuEngine::new(NpuConfig::default());
+
+        let mut mem_lbd = MemorySystem::new(MemoryConfig::default());
+        let mut with_lbd = NvrPrefetcher::new(NvrConfig::default());
+        let _ = engine.run(&program, &mut mem_lbd, &mut with_lbd);
+
+        let mut mem_no = MemorySystem::new(MemoryConfig::default());
+        let mut without = NvrPrefetcher::new(NvrConfig {
+            use_lbd: false,
+            ..NvrConfig::default()
+        });
+        let _ = engine.run(&program, &mut mem_no, &mut without);
+
+        assert!(
+            mem_lbd.prefetch_accuracy() >= mem_no.prefetch_accuracy(),
+            "LBD {} vs no-LBD {}",
+            mem_lbd.prefetch_accuracy(),
+            mem_no.prefetch_accuracy()
+        );
+    }
+
+    #[test]
+    fn on_stall_trigger_is_less_effective() {
+        let program = sparse_program(32, 64);
+        let engine = NpuEngine::new(NpuConfig::default());
+
+        let mut mem_load = MemorySystem::new(MemoryConfig::default());
+        let mut on_load = NvrPrefetcher::new(NvrConfig::default());
+        let r_load = engine.run(&program, &mut mem_load, &mut on_load);
+
+        let mut mem_stall = MemorySystem::new(MemoryConfig::default());
+        let mut on_stall = NvrPrefetcher::new(NvrConfig {
+            trigger: TriggerPolicy::OnStall,
+            ..NvrConfig::default()
+        });
+        let r_stall = engine.run(&program, &mut mem_stall, &mut on_stall);
+
+        assert!(
+            r_load.total_cycles <= r_stall.total_cycles,
+            "on-load {} should be <= on-stall {}",
+            r_load.total_cycles,
+            r_stall.total_cycles
+        );
+    }
+
+    /// NSB pays off when sparse rows are *reused* (§IV-G: implicit cache
+    /// line reuse): resident rows then hit at NSB latency instead of L2
+    /// latency.
+    #[test]
+    fn nsb_fill_reduces_npu_latency_on_reuse() {
+        use nvr_mem::CacheConfig;
+        // Hot set of 128 rows (8 KB) — fits the 16 KB NSB.
+        let mut image = MemoryImage::new();
+        let index_base = Addr::new(0x10_0000);
+        let tiles_n = 32usize;
+        let per_tile = 64usize;
+        let indices: Vec<u32> = (0..(tiles_n * per_tile))
+            .map(|i| MemoryImage::background(Addr::new(i as u64 * 4)) % 128)
+            .collect();
+        image.add_u32_segment(index_base, indices);
+        let func = SparseFunc::Affine {
+            ia_base: Addr::new(0x1_0000_0000),
+            row_bytes: 64,
+        };
+        let tiles: Vec<TileOp> = (0..tiles_n)
+            .map(|i| TileOp {
+                id: i,
+                index_region: Region::new(
+                    index_base.offset((i * per_tile) as u64 * 4),
+                    per_tile as u64 * 4,
+                ),
+                gather: Some(GatherDesc { func, batch: 16 }),
+                dma_bytes: 0,
+                compute_cycles: 50,
+                store_bytes: 0,
+            })
+            .collect();
+        let program = NpuProgram {
+            name: "nsb-reuse".into(),
+            width: DataWidth::Int8,
+            tiles,
+            image,
+        };
+        let engine = NpuEngine::new(NpuConfig::default());
+
+        let mut mem_plain = MemorySystem::new(MemoryConfig::default());
+        let mut plain = NvrPrefetcher::new(NvrConfig::default());
+        let r_plain = engine.run(&program, &mut mem_plain, &mut plain);
+
+        let nsb_cfg = MemoryConfig::default().with_nsb(CacheConfig::nsb_default());
+        let mut mem_nsb = MemorySystem::new(nsb_cfg);
+        let mut with_nsb = NvrPrefetcher::new(NvrConfig::with_nsb());
+        let r_nsb = engine.run(&program, &mut mem_nsb, &mut with_nsb);
+
+        assert!(
+            r_nsb.total_cycles < r_plain.total_cycles,
+            "NSB {} vs plain {}",
+            r_nsb.total_cycles,
+            r_plain.total_cycles
+        );
+    }
+}

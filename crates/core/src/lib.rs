@@ -1,0 +1,51 @@
+//! NVR: NPU Vector Runahead — the paper's primary contribution.
+//!
+//! NVR is a decoupled, speculative, lightweight hardware sub-thread that
+//! rides alongside the NPU (§III–§IV). It monitors CPU/NPU state through
+//! read-only snoopers, borrows the sparse-operators unit during its idle
+//! periods to execute approximate dependency chains ahead of the pipeline,
+//! and injects native vectorised prefetch loads. Its components, each a
+//! module here mirroring Fig. 3:
+//!
+//! | Paper unit | Module | Role |
+//! |---|---|---|
+//! | Snooper            | [`controller`] (event routing) | read-only CPU/NPU state extraction |
+//! | Stride Detector    | [`stride_detector`] | W/index stream prediction |
+//! | Loop Bound Detector| [`loop_bound`] | window prediction + overrun clipping (SST) |
+//! | Sparse Chain Det.  | [`sparse_chain`] | indirect-chain target computation (IPT) |
+//! | VMIG               | [`vmig`] | micro-instruction revectorisation, 16-wide issue |
+//! | NSB                | [`nsb`] | in-NPU non-blocking speculative buffer config |
+//! | —                  | [`overhead`] | Table I storage accounting |
+//!
+//! The composition — [`NvrPrefetcher`] — implements
+//! [`nvr_prefetch::Prefetcher`] and plugs into the same engine socket as the
+//! baselines.
+//!
+//! # Examples
+//!
+//! ```
+//! use nvr_core::{NvrConfig, NvrPrefetcher};
+//! use nvr_prefetch::Prefetcher;
+//!
+//! let nvr = NvrPrefetcher::new(NvrConfig::default());
+//! assert_eq!(nvr.name(), "NVR");
+//! assert!(!nvr.fills_nsb()); // until an NSB is configured
+//! ```
+
+pub mod config;
+pub mod controller;
+pub mod loop_bound;
+pub mod nsb;
+pub mod overhead;
+pub mod sparse_chain;
+pub mod stride_detector;
+pub mod vmig;
+
+pub use config::{NvrConfig, TriggerPolicy};
+pub use controller::NvrPrefetcher;
+pub use loop_bound::LoopBoundDetector;
+pub use nsb::nsb_config;
+pub use overhead::{overhead_report, OverheadReport};
+pub use sparse_chain::SparseChainDetector;
+pub use stride_detector::StrideDetector;
+pub use vmig::Vmig;

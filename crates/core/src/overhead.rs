@@ -1,0 +1,180 @@
+//! Hardware storage overhead model (Table I).
+//!
+//! Reproduces the per-structure bit accounting of the paper's Table I for a
+//! parallel width `N`. Each structure's formula follows the field list
+//! printed in the table; where the table's own arithmetic is internally
+//! inconsistent (see EXPERIMENTS.md) we compute the component sum honestly
+//! and also report the paper's printed value for comparison.
+
+/// Storage accounting for one NVR configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OverheadReport {
+    /// Parallel width the report was computed for.
+    pub n: u64,
+    /// Stride Detector bits.
+    pub sd_bits: u64,
+    /// Sparse Chain Detector bits (2N entries).
+    pub scd_bits: u64,
+    /// Loop Bound Detector bits (2N entries: sparse + normal modes).
+    pub lbd_bits: u64,
+    /// VMIG bits (2N lanes).
+    pub vmig_bits: u64,
+    /// Snooper bits.
+    pub snooper_bits: u64,
+    /// Optional NSB capacity in bytes.
+    pub nsb_bytes: u64,
+}
+
+/// Bits in a program-counter field.
+const PC_BITS: u64 = 48;
+
+impl OverheadReport {
+    /// Total NVR storage in bits (excluding the optional NSB).
+    #[must_use]
+    pub fn total_bits(&self) -> u64 {
+        self.sd_bits + self.scd_bits + self.lbd_bits + self.vmig_bits + self.snooper_bits
+    }
+
+    /// Total NVR storage in KiB (excluding the NSB).
+    #[must_use]
+    pub fn total_kib(&self) -> f64 {
+        self.total_bits() as f64 / 8.0 / 1024.0
+    }
+
+    /// The paper's printed per-structure totals at N=16, for comparison
+    /// (SD 1808, SCD 2464, LBD 3424, VMIG 3204, Snooper 1248).
+    #[must_use]
+    pub fn paper_printed_totals() -> [(&'static str, u64); 5] {
+        [
+            ("SD", 1808),
+            ("SCD", 2464),
+            ("LBD", 3424),
+            ("VMIG", 3204),
+            ("Snooper", 1248),
+        ]
+    }
+}
+
+/// Computes the Table I storage model for parallel width `n` (paper default
+/// 16) and an NSB of `nsb_kib` KiB (paper default 16, or 0 for none).
+///
+/// # Examples
+///
+/// ```
+/// use nvr_core::overhead_report;
+///
+/// let r = overhead_report(16, 16);
+/// assert_eq!(r.sd_bits, 1808);     // matches Table I exactly
+/// assert_eq!(r.snooper_bits, 1248); // matches Table I exactly
+/// ```
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+#[must_use]
+pub fn overhead_report(n: u64, nsb_kib: u64) -> OverheadReport {
+    assert!(n > 0, "parallel width must be non-zero");
+    let log2n = 64 - (n - 1).leading_zeros() as u64; // ceil(log2(n))
+
+    // SD (N entries): prev addr 48, stride 8, entry id log2N, last prefetch
+    // addr 48, stride confidence 2; plus one 48-bit PC.
+    let sd_entry = 48 + 8 + log2n + 48 + 2;
+    let sd_bits = PC_BITS + n * sd_entry;
+
+    // SCD (2N entries): ss start 48, valid 1, entry id log2(2N), ss offset
+    // 10, LPI 10, vector size 4; plus one 48-bit PC.
+    let scd_entries = 2 * n;
+    let scd_entry = 48 + 1 + (log2n + 1) + 10 + 10 + 4;
+    let scd_bits = PC_BITS + scd_entries * scd_entry;
+
+    // LBD (2N entries — dual sparse/normal modes, the mode implied by the
+    // table half): PC 48, iteration counter 16, entry id log2(2N),
+    // increment 16, level confidence 2, loop boundary 16, boundary
+    // confidence 4 = 107 bits/entry at N=16 (Table I: 32x107 = 3424).
+    let lbd_entries = 2 * n;
+    let lbd_entry = 48 + 16 + (log2n + 1) + 16 + 2 + 16 + 4;
+    let lbd_bits = lbd_entries * lbd_entry;
+
+    // VMIG: a 260-bit VIGU core (256-bit vector-op buffer + 4 control) plus
+    // N lanes of {48 PC, 64 VRF, 64 PIE, log2(2N) entry id, 3 IRU status}
+    // = 184 bits/lane at N=16 (Table I: 260 + 16x184 = 3204).
+    let vmig_lane = 48 + 64 + 64 + (log2n + 1) + 3;
+    let vmig_bits = 260 + n * vmig_lane;
+
+    // Snooper: 48 CPU PC + 64 CPU register + 48 NPU PC = 160 base, plus N
+    // sparse-structure probes of (48 + 10 + 10) = 68 bits.
+    let snooper_bits = 160 + n * 68;
+
+    OverheadReport {
+        n,
+        sd_bits,
+        scd_bits,
+        lbd_bits,
+        vmig_bits,
+        snooper_bits,
+        nsb_bytes: nsb_kib * 1024,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sd_matches_table_one() {
+        let r = overhead_report(16, 16);
+        // Table I: 48 + 16x110 = 1808 bits.
+        assert_eq!(r.sd_bits, 1808);
+    }
+
+    #[test]
+    fn snooper_matches_table_one() {
+        let r = overhead_report(16, 16);
+        // Table I: 160 + 16x68 = 1248 bits.
+        assert_eq!(r.snooper_bits, 1248);
+    }
+
+    #[test]
+    fn lbd_matches_printed_total() {
+        let r = overhead_report(16, 16);
+        // Table I prints 32 x 107 = 3424 bits.
+        assert_eq!(r.lbd_bits, 3424);
+    }
+
+    #[test]
+    fn vmig_matches_printed_total() {
+        let r = overhead_report(16, 16);
+        // Table I prints 260 + 16x184 = 3204 bits.
+        assert_eq!(r.vmig_bits, 3204);
+    }
+
+    #[test]
+    fn scd_close_to_printed_total() {
+        let r = overhead_report(16, 16);
+        // Table I prints 2464 with internally inconsistent arithmetic
+        // (48 + 32x77 = 2512, not 2464); the component sum gives 2544.
+        // Accept the honest component sum and keep it within 5% of print.
+        let printed = 2464.0;
+        let rel = (r.scd_bits as f64 - printed).abs() / printed;
+        assert!(rel < 0.05, "SCD {} vs printed {printed}", r.scd_bits);
+    }
+
+    #[test]
+    fn total_is_order_kilobits() {
+        let r = overhead_report(16, 16);
+        let total = r.total_bits();
+        // Component sums land near 12.2 kbit ~= 1.5 KiB; the optional NSB
+        // dominates the real estate (16 KiB).
+        assert!((10_000..14_000).contains(&total), "total {total}");
+        assert!(r.total_kib() < 2.0);
+        assert_eq!(r.nsb_bytes, 16 * 1024);
+    }
+
+    #[test]
+    fn scales_with_n() {
+        let small = overhead_report(8, 0);
+        let big = overhead_report(32, 0);
+        assert!(big.total_bits() > small.total_bits());
+        assert_eq!(small.nsb_bytes, 0);
+    }
+}

@@ -1,0 +1,193 @@
+//! SCD: the Sparse Chain Detector (§IV-D).
+//!
+//! Maintains the Indirect Pattern Table (IPT): for each active sparse
+//! chain, the structure's start address (`ss_start`), the element scale
+//! (`stride`, a shift for power-of-two rows; general multiply otherwise)
+//! and the last prefetched indirect index (LPI). The paper's prediction
+//! formula
+//!
+//! ```text
+//! IA_address = IA_ss_start + (W_LPI << stride)
+//! ```
+//!
+//! is evaluated here for every speculatively loaded index value. Where the
+//! chain is two-level (voxel-hash lookups), the IPT also records the
+//! intermediate table base so the controller can schedule the extra probe
+//! read on the sparse unit.
+
+use nvr_common::{Addr, Region};
+use nvr_trace::{GatherDesc, SparseFunc};
+
+/// One Indirect Pattern Table entry, mirrored from the snooped sparse-unit
+/// registers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IptEntry {
+    /// Base address of the gathered structure (`IA_ss_start`).
+    pub ss_start: Addr,
+    /// Bytes per gathered row (the `<< stride` scale).
+    pub row_bytes: u64,
+    /// Intermediate table base for two-level chains.
+    pub table_base: Option<Addr>,
+    /// Last prefetched indirect index (LPI).
+    pub lpi: u32,
+}
+
+/// The sparse-chain detector.
+///
+/// # Examples
+///
+/// ```
+/// use nvr_core::SparseChainDetector;
+/// use nvr_trace::{GatherDesc, SparseFunc};
+/// use nvr_common::Addr;
+///
+/// let mut scd = SparseChainDetector::new();
+/// scd.observe_gather(&GatherDesc {
+///     func: SparseFunc::Affine { ia_base: Addr::new(0x1000), row_bytes: 64 },
+///     batch: 16,
+/// });
+/// let r = scd.predict_target(3).expect("trained");
+/// assert_eq!(r.start(), Addr::new(0x1000 + 3 * 64));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SparseChainDetector {
+    entry: Option<IptEntry>,
+}
+
+impl SparseChainDetector {
+    /// An empty detector.
+    #[must_use]
+    pub fn new() -> Self {
+        SparseChainDetector::default()
+    }
+
+    /// Mirrors the snooped gather registers into the IPT.
+    pub fn observe_gather(&mut self, gather: &GatherDesc) {
+        let (ss_start, row_bytes, table_base) = match gather.func {
+            SparseFunc::Affine { ia_base, row_bytes } => (ia_base, row_bytes, None),
+            SparseFunc::TableLookup {
+                table_base,
+                ia_base,
+                row_bytes,
+            } => (ia_base, row_bytes, Some(table_base)),
+        };
+        let lpi = self.entry.map_or(0, |e| e.lpi);
+        self.entry = Some(IptEntry {
+            ss_start,
+            row_bytes,
+            table_base,
+            lpi,
+        });
+    }
+
+    /// Whether a chain is currently tracked.
+    #[must_use]
+    pub fn is_trained(&self) -> bool {
+        self.entry.is_some()
+    }
+
+    /// The current IPT entry.
+    #[must_use]
+    pub fn entry(&self) -> Option<&IptEntry> {
+        self.entry.as_ref()
+    }
+
+    /// Whether the tracked chain requires an intermediate table probe.
+    #[must_use]
+    pub fn is_two_level(&self) -> bool {
+        self.entry.is_some_and(|e| e.table_base.is_some())
+    }
+
+    /// Probe address for index value `idx` of a two-level chain.
+    #[must_use]
+    pub fn probe_addr(&self, idx: u32) -> Option<Addr> {
+        self.entry
+            .and_then(|e| e.table_base)
+            .map(|t| t.offset(u64::from(idx) * 4))
+    }
+
+    /// Predicts the gather target region for (resolved) index value `idx`
+    /// — `IA_ss_start + (idx << stride)` — and records it as the LPI.
+    pub fn predict_and_track(&mut self, idx: u32) -> Option<Region> {
+        let e = self.entry.as_mut()?;
+        e.lpi = idx;
+        Some(Region::new(
+            e.ss_start.offset(u64::from(idx) * e.row_bytes),
+            e.row_bytes,
+        ))
+    }
+
+    /// Predicts without updating the LPI.
+    #[must_use]
+    pub fn predict_target(&self, idx: u32) -> Option<Region> {
+        self.entry.map(|e| {
+            Region::new(
+                e.ss_start.offset(u64::from(idx) * e.row_bytes),
+                e.row_bytes,
+            )
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn affine_chain_tracking() {
+        let mut scd = SparseChainDetector::new();
+        assert!(!scd.is_trained());
+        scd.observe_gather(&GatherDesc {
+            func: SparseFunc::Affine {
+                ia_base: Addr::new(0x4000_0000),
+                row_bytes: 128,
+            },
+            batch: 16,
+        });
+        assert!(scd.is_trained());
+        assert!(!scd.is_two_level());
+        assert_eq!(scd.probe_addr(5), None);
+        let r = scd.predict_and_track(5).expect("trained");
+        assert_eq!(r.start(), Addr::new(0x4000_0000 + 5 * 128));
+        assert_eq!(r.bytes(), 128);
+        assert_eq!(scd.entry().expect("entry").lpi, 5);
+    }
+
+    #[test]
+    fn two_level_chain_probe() {
+        let mut scd = SparseChainDetector::new();
+        scd.observe_gather(&GatherDesc {
+            func: SparseFunc::TableLookup {
+                table_base: Addr::new(0x2000),
+                ia_base: Addr::new(0x8000_0000),
+                row_bytes: 64,
+            },
+            batch: 16,
+        });
+        assert!(scd.is_two_level());
+        assert_eq!(scd.probe_addr(7), Some(Addr::new(0x2000 + 28)));
+    }
+
+    #[test]
+    fn lpi_survives_reobservation() {
+        let mut scd = SparseChainDetector::new();
+        let desc = GatherDesc {
+            func: SparseFunc::Affine {
+                ia_base: Addr::new(0x1000),
+                row_bytes: 64,
+            },
+            batch: 16,
+        };
+        scd.observe_gather(&desc);
+        scd.predict_and_track(42);
+        scd.observe_gather(&desc); // next tile, same chain
+        assert_eq!(scd.entry().expect("entry").lpi, 42);
+    }
+
+    #[test]
+    fn untrained_predicts_nothing() {
+        let mut scd = SparseChainDetector::new();
+        assert_eq!(scd.predict_and_track(1), None);
+        assert_eq!(scd.predict_target(1), None);
+    }
+}

@@ -1,0 +1,143 @@
+//! SD: the Stride Detector (§IV-B).
+//!
+//! A small reference-prediction table keyed by synthetic PC, tracking the
+//! W/index stream so NVR can issue stream prefetches for upcoming index
+//! lines. Entry layout follows Table I: previous address, stride,
+//! last-prefetched address and a 2-bit confidence per entry.
+
+use nvr_common::{Addr, LineAddr};
+use nvr_prefetch::StrideEntry;
+
+/// The NVR stride detector: a PC-indexed table of [`StrideEntry`]s plus
+/// last-prefetch tracking to avoid re-issuing the same line.
+///
+/// # Examples
+///
+/// ```
+/// use nvr_core::StrideDetector;
+/// use nvr_common::Addr;
+///
+/// let mut sd = StrideDetector::new(16);
+/// for i in 0..4 {
+///     sd.observe(0x100, Addr::new(0x1000 + i * 4));
+/// }
+/// assert_eq!(sd.stride(0x100), Some(4));
+/// ```
+#[derive(Debug, Clone)]
+pub struct StrideDetector {
+    entries: Vec<(u64, StrideEntry, Option<LineAddr>)>,
+    capacity: usize,
+}
+
+impl StrideDetector {
+    /// Creates a detector with `capacity` PC entries (Table I: N=16).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "stride detector needs at least one entry");
+        StrideDetector {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    /// Feeds one observed access for `pc`.
+    pub fn observe(&mut self, pc: u64, addr: Addr) {
+        if let Some((_, e, _)) = self.entries.iter_mut().find(|(p, _, _)| *p == pc) {
+            e.update(addr);
+            return;
+        }
+        if self.entries.len() == self.capacity {
+            self.entries.remove(0);
+        }
+        let mut e = StrideEntry::new();
+        e.update(addr);
+        self.entries.push((pc, e, None));
+    }
+
+    /// The confident stride for `pc`, if trained.
+    #[must_use]
+    pub fn stride(&self, pc: u64) -> Option<i64> {
+        self.entries
+            .iter()
+            .find(|(p, _, _)| *p == pc)
+            .and_then(|(_, e, _)| e.is_confident().then(|| e.stride()))
+    }
+
+    /// Predicted address `ahead` strides past the last observation for `pc`.
+    #[must_use]
+    pub fn predict(&self, pc: u64, ahead: u64) -> Option<Addr> {
+        self.entries
+            .iter()
+            .find(|(p, _, _)| *p == pc)
+            .and_then(|(_, e, _)| e.predict(ahead))
+    }
+
+    /// Records that `line` was prefetched for `pc`; returns `false` when it
+    /// equals the previously recorded line (duplicate suppression — the
+    /// "last prefetch addr" field of Table I).
+    pub fn note_prefetched(&mut self, pc: u64, line: LineAddr) -> bool {
+        if let Some((_, _, last)) = self.entries.iter_mut().find(|(p, _, _)| *p == pc) {
+            if *last == Some(line) {
+                return false;
+            }
+            *last = Some(line);
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracks_multiple_pcs() {
+        let mut sd = StrideDetector::new(4);
+        for i in 0..4u64 {
+            sd.observe(1, Addr::new(1000 + i * 4));
+            sd.observe(2, Addr::new(9000 + i * 64));
+        }
+        assert_eq!(sd.stride(1), Some(4));
+        assert_eq!(sd.stride(2), Some(64));
+        assert_eq!(sd.stride(3), None);
+    }
+
+    #[test]
+    fn capacity_evicts_fifo() {
+        let mut sd = StrideDetector::new(2);
+        sd.observe(1, Addr::new(0));
+        sd.observe(2, Addr::new(0));
+        sd.observe(3, Addr::new(0)); // evicts pc=1
+        assert!(sd.entries.iter().all(|(p, _, _)| *p != 1));
+        assert_eq!(sd.entries.len(), 2);
+    }
+
+    #[test]
+    fn duplicate_prefetch_suppressed() {
+        let mut sd = StrideDetector::new(2);
+        sd.observe(1, Addr::new(0));
+        let line = LineAddr::new(7);
+        assert!(sd.note_prefetched(1, line));
+        assert!(!sd.note_prefetched(1, line));
+        assert!(sd.note_prefetched(1, LineAddr::new(8)));
+    }
+
+    #[test]
+    fn prediction_goes_through() {
+        let mut sd = StrideDetector::new(2);
+        for i in 0..5u64 {
+            sd.observe(9, Addr::new(i * 128));
+        }
+        assert_eq!(sd.predict(9, 2), Some(Addr::new(4 * 128 + 256)));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_capacity_panics() {
+        let _ = StrideDetector::new(0);
+    }
+}

@@ -1,0 +1,185 @@
+//! NPU programs for the three attention sub-layers of Fig. 8a.
+//!
+//! A sparse-attention decode step decomposes into:
+//!
+//! * **QKV** — dense projections: streaming weight reads, no gathers;
+//! * **QKᵀ** — score computation against the *selected* K rows: top-k
+//!   gathers over the K cache;
+//! * **AV**  — aggregation of the selected V rows: gathers over the V cache
+//!   with the same indices (a disjoint array, so no incidental reuse).
+//!
+//! Each builder returns a self-contained [`NpuProgram`] the harness runs
+//! with and without NVR to reproduce the per-layer batch/element miss rates.
+
+use nvr_common::rng::Zipf;
+use nvr_common::{Addr, Pcg32, Region};
+use nvr_npu::SystolicArray;
+use nvr_trace::{GatherDesc, MemoryImage, NpuProgram, SparseFunc, TileOp};
+
+use crate::model::LlmConfig;
+
+/// Index array base for the layer programs.
+const INDEX_BASE: Addr = Addr::new(0x1000_0000);
+/// K-cache base.
+const K_BASE: Addr = Addr::new(0x10_0000_0000);
+/// V-cache base.
+const V_BASE: Addr = Addr::new(0x20_0000_0000);
+
+/// Steps (query tokens) simulated per layer program.
+const STEPS: usize = 48;
+/// Hot-set share of selections (attention sinks + recency).
+const HOT_FRACTION: f64 = 0.7;
+
+/// Builds the dense QKV projection program: weight streaming + GEMV, no
+/// sparse gathers (its miss traffic is DMA, not cache misses).
+#[must_use]
+pub fn qkv_program(cfg: &LlmConfig, l: usize) -> NpuProgram {
+    let sa = SystolicArray::gemmini_default();
+    let h = cfg.hidden;
+    let per_step_weight_bytes = 4 * (h as u64) * (h as u64) * cfg.width.bytes();
+    let tiles: Vec<TileOp> = (0..STEPS)
+        .map(|id| TileOp {
+            id,
+            index_region: Region::empty(),
+            gather: None,
+            dma_bytes: per_step_weight_bytes,
+            compute_cycles: sa.gemm_cycles(1, h, 4 * h),
+            store_bytes: (h as u64) * cfg.width.bytes(),
+        })
+        .collect();
+    let _ = l;
+    NpuProgram {
+        name: "QKV".into(),
+        width: cfg.width,
+        tiles,
+        image: MemoryImage::new(),
+    }
+}
+
+/// Top-k selections shared by the QKᵀ and AV builders: deterministic in
+/// `(cfg, l, seed)` so both layers gather the same rows, as in a real step.
+fn select_indices(cfg: &LlmConfig, l: usize, seed: u64) -> Vec<Vec<u32>> {
+    let mut rng = Pcg32::seed_with_stream(seed, 0xA77);
+    let k = cfg.top_k(l);
+    let hot = (l / 8).max(16);
+    let zipf = Zipf::new(hot, 1.1);
+    (0..STEPS)
+        .map(|_| {
+            let mut chosen = std::collections::BTreeSet::new();
+            while chosen.len() < k.min(l) {
+                let key = if rng.gen_bool(HOT_FRACTION) {
+                    zipf.sample(&mut rng) as u32
+                } else {
+                    rng.gen_range(l as u64) as u32
+                };
+                chosen.insert(key);
+            }
+            chosen.into_iter().collect()
+        })
+        .collect()
+}
+
+fn gather_layer(
+    name: &str,
+    cfg: &LlmConfig,
+    l: usize,
+    seed: u64,
+    ia_base: Addr,
+    compute_scale: u64,
+) -> NpuProgram {
+    let sa = SystolicArray::gemmini_default();
+    let row_bytes = cfg.head_dim() as u64 * cfg.width.bytes();
+    let selections = select_indices(cfg, l, seed);
+    let mut flat = Vec::new();
+    let mut tiles = Vec::with_capacity(selections.len());
+    for (id, sel) in selections.into_iter().enumerate() {
+        let start = INDEX_BASE.offset(flat.len() as u64 * 4);
+        let bytes = sel.len() as u64 * 4;
+        let k = sel.len();
+        flat.extend(sel);
+        tiles.push(TileOp {
+            id,
+            index_region: Region::new(start, bytes),
+            gather: Some(GatherDesc {
+                func: SparseFunc::Affine { ia_base, row_bytes },
+                batch: 16,
+            }),
+            dma_bytes: row_bytes, // the query / score vector
+            compute_cycles: compute_scale * sa.sparse_mac_cycles(k, cfg.head_dim()),
+            store_bytes: row_bytes,
+        });
+    }
+    let mut image = MemoryImage::new();
+    image.add_u32_segment(INDEX_BASE, flat);
+    let program = NpuProgram {
+        name: name.into(),
+        width: cfg.width,
+        tiles,
+        image,
+    };
+    program.assert_valid();
+    program
+}
+
+/// Builds the QKᵀ score program: top-k gathers over the K cache.
+#[must_use]
+pub fn qkt_program(cfg: &LlmConfig, l: usize, seed: u64) -> NpuProgram {
+    gather_layer("QKT", cfg, l, seed, K_BASE, 1)
+}
+
+/// Builds the AV aggregation program: the same selections gathered from
+/// the (disjoint) V cache.
+#[must_use]
+pub fn av_program(cfg: &LlmConfig, l: usize, seed: u64) -> NpuProgram {
+    gather_layer("AV", cfg, l, seed, V_BASE, 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qkv_is_dense() {
+        let p = qkv_program(&LlmConfig::default(), 1024);
+        assert!(p.tiles.iter().all(|t| t.gather.is_none()));
+        assert!(p.stats().dma_bytes > 0);
+    }
+
+    #[test]
+    fn qkt_and_av_share_selections() {
+        let cfg = LlmConfig::default();
+        let a = qkt_program(&cfg, 2048, 5);
+        let b = av_program(&cfg, 2048, 5);
+        assert_eq!(
+            a.tiles[0].index_values(&a.image),
+            b.tiles[0].index_values(&b.image)
+        );
+        // ...but gather from different caches.
+        let base = |p: &NpuProgram| match p.tiles[0].gather.expect("gather").func {
+            SparseFunc::Affine { ia_base, .. } => ia_base,
+            SparseFunc::TableLookup { .. } => unreachable!("affine layers"),
+        };
+        assert_ne!(base(&a), base(&b));
+    }
+
+    #[test]
+    fn k_scales_with_sequence_length() {
+        let cfg = LlmConfig::default();
+        let short = qkt_program(&cfg, 1024, 1);
+        let long = qkt_program(&cfg, 4096, 1);
+        assert_eq!(
+            4 * short.tiles[0].index_count(),
+            long.tiles[0].index_count()
+        );
+    }
+
+    #[test]
+    fn indices_within_sequence() {
+        let cfg = LlmConfig::default();
+        let l = 2048;
+        let p = qkt_program(&cfg, l, 9);
+        for t in &p.tiles {
+            assert!(t.index_values(&p.image).iter().all(|&v| (v as usize) < l));
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! Transformer shapes and roofline accounting.
+
+use nvr_common::{DataWidth, NvrError};
+
+/// Configuration of the modelled decoder-only transformer.
+///
+/// # Examples
+///
+/// ```
+/// use nvr_llm::LlmConfig;
+///
+/// let cfg = LlmConfig::default();
+/// assert!(cfg.weight_bytes() > 0);
+/// cfg.validate()?;
+/// # Ok::<(), nvr_common::NvrError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LlmConfig {
+    /// Hidden (model) dimension.
+    pub hidden: usize,
+    /// Attention heads.
+    pub heads: usize,
+    /// Decoder layers.
+    pub layers: usize,
+    /// Sparsity ratio of the KV selection: keep 1 in `kv_keep_ratio` keys
+    /// (Double-Sparsity-style top-k attention).
+    pub kv_keep_ratio: usize,
+    /// Decode batch size: weight streaming amortises across this many
+    /// concurrent sequences (KV gathers do not — they are per-sequence,
+    /// which is exactly why sparse attention dominates decode IO).
+    pub decode_batch: usize,
+    /// Operand width.
+    pub width: DataWidth,
+}
+
+impl LlmConfig {
+    /// Head dimension (`hidden / heads`).
+    #[must_use]
+    pub fn head_dim(&self) -> usize {
+        self.hidden / self.heads
+    }
+
+    /// Selected keys per query at sequence length `l`.
+    #[must_use]
+    pub fn top_k(&self, l: usize) -> usize {
+        (l / self.kv_keep_ratio).max(1)
+    }
+
+    /// Total parameter bytes (QKV/O projections + a 4x MLP per layer).
+    #[must_use]
+    pub fn weight_bytes(&self) -> u64 {
+        let h = self.hidden as u64;
+        // 4 h^2 (Q,K,V,O) + 8 h^2 (up+down 4x MLP) per layer.
+        let per_layer = 12 * h * h;
+        per_layer * self.layers as u64 * self.width.bytes()
+    }
+
+    /// KV-cache bytes at sequence length `l`.
+    #[must_use]
+    pub fn kv_cache_bytes(&self, l: usize) -> u64 {
+        2 * (l as u64) * self.hidden as u64 * self.layers as u64 * self.width.bytes()
+    }
+
+    /// MAC operations per decode step (one token through the stack).
+    #[must_use]
+    pub fn decode_macs(&self, l: usize) -> u64 {
+        let h = self.hidden as u64;
+        let k = self.top_k(l) as u64;
+        // Projections + MLP: 12 h^2; sparse attention: 2 k h per layer.
+        (12 * h * h + 2 * k * h) * self.layers as u64
+    }
+
+    /// MAC operations to prefill `l` tokens.
+    #[must_use]
+    pub fn prefill_macs(&self, l: usize) -> u64 {
+        let h = self.hidden as u64;
+        let l64 = l as u64;
+        // Dense attention during prefill: l^2 h per layer (causal halves it).
+        (12 * h * h * l64 + l64 * l64 * h / 2) * self.layers as u64
+    }
+
+    /// Checks the shape is consistent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NvrError::Config`] if `hidden` is not divisible by `heads`
+    /// or any field is zero.
+    pub fn validate(&self) -> Result<(), NvrError> {
+        if self.hidden == 0
+            || self.heads == 0
+            || self.layers == 0
+            || self.kv_keep_ratio == 0
+            || self.decode_batch == 0
+        {
+            return Err(NvrError::Config("LLM shape fields must be non-zero".into()));
+        }
+        if self.hidden % self.heads != 0 {
+            return Err(NvrError::Config(format!(
+                "hidden {} not divisible by heads {}",
+                self.hidden, self.heads
+            )));
+        }
+        Ok(())
+    }
+}
+
+impl Default for LlmConfig {
+    /// A 1B-class decoder: 2048 hidden, 16 heads, 24 layers, 16x KV
+    /// sparsity, FP16.
+    fn default() -> Self {
+        LlmConfig {
+            hidden: 2048,
+            heads: 16,
+            layers: 24,
+            kv_keep_ratio: 16,
+            decode_batch: 64,
+            width: DataWidth::Fp16,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_shape_consistent() {
+        let cfg = LlmConfig::default();
+        cfg.validate().expect("valid");
+        assert_eq!(cfg.head_dim(), 128);
+        assert_eq!(cfg.top_k(4096), 256);
+    }
+
+    #[test]
+    fn weight_bytes_scale_with_width() {
+        let fp16 = LlmConfig::default();
+        let int8 = LlmConfig {
+            width: DataWidth::Int8,
+            ..fp16
+        };
+        assert_eq!(fp16.weight_bytes(), 2 * int8.weight_bytes());
+    }
+
+    #[test]
+    fn prefill_dominates_decode_compute() {
+        let cfg = LlmConfig::default();
+        assert!(cfg.prefill_macs(1024) > 100 * cfg.decode_macs(1024));
+    }
+
+    #[test]
+    fn invalid_shapes_rejected() {
+        let bad = LlmConfig {
+            hidden: 100,
+            heads: 16,
+            ..LlmConfig::default()
+        };
+        assert!(bad.validate().is_err());
+        let bad = LlmConfig {
+            layers: 0,
+            ..LlmConfig::default()
+        };
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn kv_cache_grows_linearly() {
+        let cfg = LlmConfig::default();
+        assert_eq!(cfg.kv_cache_bytes(2048), 2 * cfg.kv_cache_bytes(1024));
+    }
+}

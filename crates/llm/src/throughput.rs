@@ -1,0 +1,144 @@
+//! Roofline throughput combinator for Fig. 8b/c.
+//!
+//! Prefill is compute-bound, decode IO-bound (§V-D). Tokens/second at a
+//! given off-chip bandwidth folds three terms together:
+//!
+//! * dense weight streaming — `weight_bytes / bandwidth`;
+//! * dense compute — MACs through the systolic array's peak rate;
+//! * sparse KV gathers — *measured* cycles from the cache simulator, which
+//!   is where NVR changes the curve.
+//!
+//! The harness (`nvr-sim::figures::fig8`) measures the sparse term by
+//! running [`crate::layers`] programs against a memory system configured
+//! with each bandwidth point, then calls these combinators.
+
+use crate::model::LlmConfig;
+
+/// One point of a throughput-vs-bandwidth curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThroughputPoint {
+    /// Off-chip bandwidth, bytes per cycle.
+    pub bytes_per_cycle: u64,
+    /// Tokens per mega-cycle (scale-free; the paper normalises anyway).
+    pub tokens_per_mcycle: f64,
+}
+
+/// Peak MACs per cycle of the modelled LLM-class NPU (a 128x128 array,
+/// LLMCompass's default-scale accelerator rather than the embedded Gemmini).
+const PEAK_MACS_PER_CYCLE: u64 = 16_384;
+
+/// Decode throughput at one bandwidth point.
+///
+/// `sparse_cycles_per_step` is the measured wall-clock of the sparse
+/// attention gathers for one decode step at this bandwidth (summed over
+/// QKᵀ and AV and scaled to all heads/layers by the caller).
+///
+/// # Examples
+///
+/// ```
+/// use nvr_llm::{decode_throughput, LlmConfig};
+///
+/// let cfg = LlmConfig::default();
+/// let fast = decode_throughput(&cfg, 1024, 64, 10_000.0);
+/// let slow = decode_throughput(&cfg, 1024, 8, 10_000.0);
+/// assert!(fast.tokens_per_mcycle > slow.tokens_per_mcycle);
+/// ```
+#[must_use]
+pub fn decode_throughput(
+    cfg: &LlmConfig,
+    l: usize,
+    bytes_per_cycle: u64,
+    sparse_cycles_per_step: f64,
+) -> ThroughputPoint {
+    // Weights stream once per decode step, amortised across the batch.
+    let weight_cycles =
+        cfg.weight_bytes() as f64 / (bytes_per_cycle.max(1) * cfg.decode_batch as u64) as f64;
+    let compute_cycles = cfg.decode_macs(l) as f64 / PEAK_MACS_PER_CYCLE as f64;
+    // Dense streaming overlaps compute; the sparse gathers serialise
+    // behind them (the decoupled-access pattern of the in-order NPU).
+    let step = weight_cycles.max(compute_cycles) + sparse_cycles_per_step;
+    ThroughputPoint {
+        bytes_per_cycle,
+        tokens_per_mcycle: 1.0e6 / step,
+    }
+}
+
+/// Prefill throughput at one bandwidth point.
+///
+/// `sparse_cycles_total` is the measured sparse-gather wall-clock for the
+/// whole prompt at this bandwidth (0 for perfectly dense prefill).
+///
+/// # Examples
+///
+/// ```
+/// use nvr_llm::{prefill_throughput, LlmConfig};
+///
+/// let cfg = LlmConfig::default();
+/// let p = prefill_throughput(&cfg, 1024, 1024, 0.0);
+/// let q = prefill_throughput(&cfg, 1024, 2048, 0.0);
+/// // Far past the roofline knee, bandwidth no longer helps.
+/// assert!((p.tokens_per_mcycle - q.tokens_per_mcycle).abs() / p.tokens_per_mcycle < 0.01);
+/// ```
+#[must_use]
+pub fn prefill_throughput(
+    cfg: &LlmConfig,
+    l: usize,
+    bytes_per_cycle: u64,
+    sparse_cycles_total: f64,
+) -> ThroughputPoint {
+    // Weights stream once for the whole prompt (reused across tokens);
+    // activations/KV writes add one cache-size pass.
+    let bytes = cfg.weight_bytes() + cfg.kv_cache_bytes(l);
+    let mem_cycles = bytes as f64 / bytes_per_cycle.max(1) as f64;
+    let compute_cycles = cfg.prefill_macs(l) as f64 / PEAK_MACS_PER_CYCLE as f64;
+    let total = mem_cycles.max(compute_cycles) + sparse_cycles_total;
+    ThroughputPoint {
+        bytes_per_cycle,
+        tokens_per_mcycle: l as f64 * 1.0e6 / total,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decode_is_bandwidth_sensitive() {
+        let cfg = LlmConfig::default();
+        let lo = decode_throughput(&cfg, 2048, 8, 0.0);
+        let hi = decode_throughput(&cfg, 2048, 256, 0.0);
+        assert!(
+            hi.tokens_per_mcycle > 5.0 * lo.tokens_per_mcycle,
+            "decode should scale with bandwidth ({} vs {})",
+            hi.tokens_per_mcycle,
+            lo.tokens_per_mcycle
+        );
+    }
+
+    #[test]
+    fn prefill_saturates_at_compute_roof() {
+        let cfg = LlmConfig::default();
+        let l = 2048;
+        let mid = prefill_throughput(&cfg, l, 256, 0.0);
+        let hi = prefill_throughput(&cfg, l, 4096, 0.0);
+        let gain = hi.tokens_per_mcycle / mid.tokens_per_mcycle;
+        assert!(gain < 1.5, "prefill should saturate (gain {gain})");
+    }
+
+    #[test]
+    fn sparse_stalls_reduce_throughput() {
+        let cfg = LlmConfig::default();
+        let clean = decode_throughput(&cfg, 1024, 64, 0.0);
+        let stalled = decode_throughput(&cfg, 1024, 64, 500_000.0);
+        assert!(clean.tokens_per_mcycle > stalled.tokens_per_mcycle);
+    }
+
+    #[test]
+    fn longer_sequences_cost_more_per_decode_step() {
+        let cfg = LlmConfig::default();
+        // Same measured sparse time; compute grows with k = l/ratio.
+        let short = decode_throughput(&cfg, 512, 16, 1000.0);
+        let long = decode_throughput(&cfg, 4096, 16, 1000.0);
+        assert!(short.tokens_per_mcycle >= long.tokens_per_mcycle);
+    }
+}

@@ -1,0 +1,479 @@
+//! Non-blocking set-associative cache with timestamp-forwarded fills.
+
+use nvr_common::{Cycle, LineAddr};
+
+use crate::config::CacheConfig;
+use crate::stats::CacheStats;
+
+/// Result of probing a cache for a line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProbeResult {
+    /// The line is resident and filled; data usable after the hit latency.
+    Hit {
+        /// Cycle at which the data is usable.
+        ready_at: Cycle,
+    },
+    /// The line is being filled by an outstanding request; the access merges
+    /// into the pending fill (MSHR coalescing).
+    InFlight {
+        /// Cycle at which the pending fill completes.
+        ready_at: Cycle,
+        /// Whether the pending fill was initiated by a prefetch.
+        fill_was_prefetch: bool,
+    },
+    /// The line is absent; the caller must fetch it from the next level.
+    Miss,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Way {
+    tag: u64,
+    valid: bool,
+    /// Cycle at which the fill completes; `<= now` means filled.
+    fill_done: Cycle,
+    /// LRU timestamp.
+    last_use: Cycle,
+    /// Whether the fill was initiated by a prefetch.
+    from_prefetch: bool,
+    /// Whether a demand access touched the line since its fill.
+    demanded: bool,
+}
+
+/// A non-blocking set-associative cache level.
+///
+/// Fills are modelled by timestamps: [`Cache::install`] records the cycle at
+/// which a line's data arrives, and later probes to that line before the
+/// fill completes report [`ProbeResult::InFlight`] — exactly the behaviour a
+/// miss-status holding register file provides in hardware.
+///
+/// MSHR capacity is enforced by counting lines whose fill is still pending:
+/// [`Cache::mshr_free_at`] tells the caller when an MSHR slot frees up, so
+/// demand accesses stall (and prefetches drop) when the file is full, as in
+/// §IV-F–G of the paper.
+///
+/// # Examples
+///
+/// ```
+/// use nvr_mem::{Cache, CacheConfig, ProbeResult};
+/// use nvr_common::LineAddr;
+///
+/// let mut cache = Cache::new(CacheConfig::l2_default());
+/// let line = LineAddr::new(0x40);
+/// assert_eq!(cache.probe(line, 0, true), ProbeResult::Miss);
+/// cache.install(line, 100, false, 0);
+/// assert!(matches!(cache.probe(line, 50, true), ProbeResult::InFlight { .. }));
+/// assert!(matches!(cache.probe(line, 200, true), ProbeResult::Hit { .. }));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cache {
+    cfg: CacheConfig,
+    sets: Vec<Vec<Way>>,
+    n_sets: u64,
+    /// Completion cycles of outstanding fills (the MSHR file).
+    inflight: Vec<Cycle>,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Creates a cache with the given geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`CacheConfig::validate`]; callers
+    /// configuring from user input should validate first.
+    #[must_use]
+    pub fn new(cfg: CacheConfig) -> Self {
+        cfg.validate().expect("cache config must be valid");
+        let sets = cfg.sets();
+        Cache {
+            n_sets: sets,
+            sets: vec![vec![Way::default(); cfg.ways as usize]; sets as usize],
+            inflight: Vec::with_capacity(cfg.mshr_entries),
+            stats: CacheStats::new(cfg.name),
+            cfg,
+        }
+    }
+
+    /// The configuration this cache was built with.
+    #[must_use]
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    /// Accumulated statistics.
+    #[must_use]
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    fn set_index(&self, line: LineAddr) -> usize {
+        (line.index() % self.n_sets) as usize
+    }
+
+    fn tag(&self, line: LineAddr) -> u64 {
+        line.index() / self.n_sets
+    }
+
+    /// Looks up `line` at cycle `now`. `is_demand` controls statistics and
+    /// the `demanded` mark used for prefetch-usefulness accounting.
+    pub fn probe(&mut self, line: LineAddr, now: Cycle, is_demand: bool) -> ProbeResult {
+        let set = self.set_index(line);
+        let tag = self.tag(line);
+        let hit_latency = self.cfg.hit_latency;
+        let way = self.sets[set]
+            .iter_mut()
+            .find(|w| w.valid && w.tag == tag);
+        match way {
+            Some(w) => {
+                w.last_use = now;
+                let filled = w.fill_done <= now;
+                let first_demand_of_prefetch = is_demand && w.from_prefetch && !w.demanded;
+                if is_demand {
+                    w.demanded = true;
+                }
+                if filled {
+                    if is_demand {
+                        self.stats.demand_hits.inc();
+                        if first_demand_of_prefetch {
+                            self.stats.prefetch_useful.inc();
+                        }
+                    }
+                    ProbeResult::Hit {
+                        ready_at: now + hit_latency,
+                    }
+                } else {
+                    let ready_at = w.fill_done.max(now + hit_latency);
+                    let fill_was_prefetch = w.from_prefetch;
+                    if is_demand {
+                        self.stats.mshr_merges.inc();
+                        if first_demand_of_prefetch {
+                            self.stats.prefetch_useful.inc();
+                            self.stats.prefetch_late.inc();
+                        }
+                    }
+                    ProbeResult::InFlight {
+                        ready_at,
+                        fill_was_prefetch,
+                    }
+                }
+            }
+            None => {
+                if is_demand {
+                    self.stats.demand_misses.inc();
+                }
+                ProbeResult::Miss
+            }
+        }
+    }
+
+    /// Whether the line is resident or in flight, without disturbing LRU
+    /// state or statistics. Used by prefetchers to test redundancy.
+    #[must_use]
+    pub fn contains(&self, line: LineAddr) -> bool {
+        let set = self.set_index(line);
+        let tag = self.tag(line);
+        self.sets[set].iter().any(|w| w.valid && w.tag == tag)
+    }
+
+    /// Cycle at which `line`'s data is (or becomes) available, if resident,
+    /// without touching LRU state or statistics.
+    #[must_use]
+    pub fn ready_time(&self, line: LineAddr, now: Cycle) -> Option<Cycle> {
+        let set = self.set_index(line);
+        let tag = self.tag(line);
+        self.sets[set]
+            .iter()
+            .find(|w| w.valid && w.tag == tag)
+            .map(|w| w.fill_done.max(now))
+    }
+
+    /// Number of MSHR entries still pending at `now`.
+    #[must_use]
+    pub fn mshr_pending(&self, now: Cycle) -> usize {
+        self.inflight.iter().filter(|&&c| c > now).count()
+    }
+
+    /// Whether a new fill can be accepted at `now`.
+    #[must_use]
+    pub fn mshr_available(&self, now: Cycle) -> bool {
+        self.mshr_pending(now) < self.cfg.mshr_entries
+    }
+
+    /// Earliest cycle at which an MSHR slot is free.
+    ///
+    /// Returns `now` when a slot is already free; otherwise the completion
+    /// cycle of the soonest-finishing outstanding fill.
+    #[must_use]
+    pub fn mshr_free_at(&self, now: Cycle) -> Cycle {
+        let pending: Vec<Cycle> = self
+            .inflight
+            .iter()
+            .copied()
+            .filter(|&c| c > now)
+            .collect();
+        if pending.len() < self.cfg.mshr_entries {
+            now
+        } else {
+            let mut sorted = pending;
+            sorted.sort_unstable();
+            // The (len - mshr_entries + 1)-th completion frees the slot.
+            sorted[sorted.len() - self.cfg.mshr_entries]
+        }
+    }
+
+    /// Installs `line` with its data arriving at `fill_done`, allocating an
+    /// MSHR entry and evicting the LRU way if needed.
+    ///
+    /// Prefetch fills (`from_prefetch`) do not occupy this cache's MSHR
+    /// file — they are tracked by the dedicated speculative MSHR file of
+    /// the hierarchy (§IV-G), so demand and speculation do not contend for
+    /// miss-tracking slots.
+    ///
+    /// The caller is responsible for having checked [`Cache::mshr_available`]
+    /// for demand fills.
+    pub fn install(&mut self, line: LineAddr, fill_done: Cycle, from_prefetch: bool, now: Cycle) {
+        // Record the outstanding fill, recycling a completed slot if any.
+        if !from_prefetch {
+            if let Some(slot) = self.inflight.iter_mut().find(|c| **c <= now) {
+                *slot = fill_done;
+            } else {
+                self.inflight.push(fill_done);
+            }
+        }
+
+        let set = self.set_index(line);
+        let tag = self.tag(line);
+        if let Some(w) = self.sets[set].iter_mut().find(|w| w.valid && w.tag == tag) {
+            // Refill of a resident line (e.g. prefetch after demand raced in).
+            w.fill_done = w.fill_done.min(fill_done);
+            w.last_use = now;
+            return;
+        }
+
+        let victim = self.pick_victim(set, now);
+        let w = &mut self.sets[set][victim];
+        if w.valid {
+            self.stats.evictions.inc();
+            if w.from_prefetch && !w.demanded {
+                self.stats.prefetch_evicted_unused.inc();
+            }
+        }
+        *w = Way {
+            tag,
+            valid: true,
+            fill_done,
+            last_use: now,
+            from_prefetch,
+            demanded: false,
+        };
+    }
+
+    /// LRU victim, preferring ways whose fill already completed so that
+    /// in-flight fills are not silently clobbered.
+    fn pick_victim(&self, set: usize, now: Cycle) -> usize {
+        let ways = &self.sets[set];
+        if let Some((i, _)) = ways.iter().enumerate().find(|(_, w)| !w.valid) {
+            return i;
+        }
+        let filled_lru = ways
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| w.fill_done <= now)
+            .min_by_key(|(_, w)| w.last_use);
+        if let Some((i, _)) = filled_lru {
+            return i;
+        }
+        // Every way is mid-fill (pathological): fall back to plain LRU.
+        ways.iter()
+            .enumerate()
+            .min_by_key(|(_, w)| w.last_use)
+            .map(|(i, _)| i)
+            .expect("ways is non-empty")
+    }
+
+    /// Counts resident prefetched-but-never-demanded lines into the stats.
+    ///
+    /// Call once at the end of a simulation so that accuracy denominators
+    /// include prefetches that were still resident (and unused) at the end.
+    pub fn finalize_stats(&mut self) {
+        let unused = self
+            .sets
+            .iter()
+            .flatten()
+            .filter(|w| w.valid && w.from_prefetch && !w.demanded)
+            .count() as u64;
+        self.stats.prefetch_resident_unused.add(unused);
+    }
+
+    /// Record a prefetch acceptance in the stats (called by the hierarchy).
+    pub(crate) fn note_prefetch_issued(&mut self) {
+        self.stats.prefetch_issued.inc();
+    }
+
+    /// Record a redundant prefetch in the stats (called by the hierarchy).
+    pub(crate) fn note_prefetch_redundant(&mut self) {
+        self.stats.prefetch_redundant.inc();
+    }
+
+    /// Record a dropped prefetch in the stats (called by the hierarchy).
+    pub(crate) fn note_prefetch_dropped(&mut self) {
+        self.stats.prefetch_dropped.inc();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::KIB;
+
+    fn tiny_cache(ways: u64, sets: u64) -> Cache {
+        Cache::new(CacheConfig {
+            name: "T",
+            size_bytes: ways * sets * 64,
+            ways,
+            hit_latency: 4,
+            mshr_entries: 2,
+        })
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = tiny_cache(2, 4);
+        let line = LineAddr::new(0x10);
+        assert_eq!(c.probe(line, 0, true), ProbeResult::Miss);
+        c.install(line, 50, false, 0);
+        match c.probe(line, 60, true) {
+            ProbeResult::Hit { ready_at } => assert_eq!(ready_at, 64),
+            other => panic!("expected hit, got {other:?}"),
+        }
+        assert_eq!(c.stats().demand_hits.get(), 1);
+        assert_eq!(c.stats().demand_misses.get(), 1);
+    }
+
+    #[test]
+    fn inflight_merge_reports_fill_time() {
+        let mut c = tiny_cache(2, 4);
+        let line = LineAddr::new(0x10);
+        c.probe(line, 0, true);
+        c.install(line, 100, false, 0);
+        match c.probe(line, 10, true) {
+            ProbeResult::InFlight { ready_at, .. } => assert_eq!(ready_at, 100),
+            other => panic!("expected in-flight, got {other:?}"),
+        }
+        assert_eq!(c.stats().mshr_merges.get(), 1);
+    }
+
+    #[test]
+    fn prefetch_useful_accounting() {
+        let mut c = tiny_cache(2, 4);
+        let line = LineAddr::new(0x20);
+        c.install(line, 10, true, 0);
+        // First demand marks the prefetch useful, once.
+        c.probe(line, 20, true);
+        c.probe(line, 30, true);
+        assert_eq!(c.stats().prefetch_useful.get(), 1);
+        assert_eq!(c.stats().prefetch_late.get(), 0);
+    }
+
+    #[test]
+    fn late_prefetch_counts_as_late_useful() {
+        let mut c = tiny_cache(2, 4);
+        let line = LineAddr::new(0x20);
+        c.install(line, 100, true, 0);
+        match c.probe(line, 10, true) {
+            ProbeResult::InFlight {
+                ready_at,
+                fill_was_prefetch,
+            } => {
+                assert_eq!(ready_at, 100);
+                assert!(fill_was_prefetch);
+            }
+            other => panic!("expected in-flight, got {other:?}"),
+        }
+        assert_eq!(c.stats().prefetch_useful.get(), 1);
+        assert_eq!(c.stats().prefetch_late.get(), 1);
+    }
+
+    #[test]
+    fn lru_eviction_within_set() {
+        let mut c = tiny_cache(2, 1); // one set, two ways
+        let a = LineAddr::new(1);
+        let b = LineAddr::new(2);
+        let d = LineAddr::new(3);
+        c.install(a, 0, false, 0);
+        c.install(b, 0, false, 1);
+        c.probe(a, 10, true); // a is now MRU
+        c.install(d, 20, false, 11); // must evict b
+        assert!(c.contains(a));
+        assert!(!c.contains(b));
+        assert!(c.contains(d));
+        assert_eq!(c.stats().evictions.get(), 1);
+    }
+
+    #[test]
+    fn eviction_of_unused_prefetch_is_counted() {
+        let mut c = tiny_cache(1, 1);
+        c.install(LineAddr::new(1), 0, true, 0);
+        c.install(LineAddr::new(2), 0, false, 1);
+        assert_eq!(c.stats().prefetch_evicted_unused.get(), 1);
+    }
+
+    #[test]
+    fn mshr_capacity_tracking() {
+        let mut c = tiny_cache(4, 4); // mshr_entries = 2
+        c.install(LineAddr::new(1), 100, false, 0);
+        assert!(c.mshr_available(0));
+        c.install(LineAddr::new(2), 120, false, 0);
+        assert!(!c.mshr_available(0));
+        assert_eq!(c.mshr_free_at(0), 100);
+        // After the first fill lands, a slot frees.
+        assert!(c.mshr_available(100));
+        assert_eq!(c.mshr_free_at(100), 100);
+    }
+
+    #[test]
+    fn mshr_slot_recycling() {
+        let mut c = tiny_cache(4, 4);
+        c.install(LineAddr::new(1), 10, false, 0);
+        c.install(LineAddr::new(2), 20, false, 0);
+        // Both done by cycle 30; new installs reuse slots rather than grow.
+        c.install(LineAddr::new(3), 40, false, 30);
+        c.install(LineAddr::new(4), 50, false, 30);
+        assert_eq!(c.mshr_pending(30), 2);
+        assert!(c.inflight.len() <= 2, "slots must be recycled");
+    }
+
+    #[test]
+    fn finalize_counts_resident_unused_prefetches() {
+        let mut c = tiny_cache(2, 2);
+        c.install(LineAddr::new(1), 0, true, 0);
+        c.install(LineAddr::new(2), 0, true, 0);
+        c.probe(LineAddr::new(1), 5, true);
+        c.finalize_stats();
+        assert_eq!(c.stats().prefetch_resident_unused.get(), 1);
+    }
+
+    #[test]
+    fn distinct_sets_do_not_conflict() {
+        let mut c = Cache::new(CacheConfig::l2_default().with_size(16 * KIB));
+        let sets = c.config().sets();
+        // Lines mapping to different sets never evict each other.
+        for i in 0..sets {
+            c.install(LineAddr::new(i), 0, false, 0);
+        }
+        for i in 0..sets {
+            assert!(c.contains(LineAddr::new(i)));
+        }
+        assert_eq!(c.stats().evictions.get(), 0);
+    }
+
+    #[test]
+    fn contains_does_not_touch_stats() {
+        let mut c = tiny_cache(2, 2);
+        c.install(LineAddr::new(7), 0, false, 0);
+        let before = c.stats().clone();
+        assert!(c.contains(LineAddr::new(7)));
+        assert!(!c.contains(LineAddr::new(9)));
+        assert_eq!(&before, c.stats());
+    }
+}

@@ -1,0 +1,292 @@
+//! Configuration for the memory hierarchy.
+
+use nvr_common::{Cycle, NvrError, LINE_BYTES};
+
+/// One kibibyte, for readable capacity arithmetic.
+pub const KIB: u64 = 1024;
+
+/// Geometry and timing of one cache level.
+///
+/// # Examples
+///
+/// ```
+/// use nvr_mem::CacheConfig;
+///
+/// let l2 = CacheConfig::l2_default();
+/// assert_eq!(l2.size_bytes, 256 * 1024);
+/// l2.validate()?;
+/// # Ok::<(), nvr_common::NvrError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Human-readable name used in stats output.
+    pub name: &'static str,
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity (lines per set).
+    pub ways: u64,
+    /// Load-to-use latency of a hit, in cycles.
+    pub hit_latency: Cycle,
+    /// Number of miss-status holding registers (outstanding fills).
+    pub mshr_entries: usize,
+}
+
+impl CacheConfig {
+    /// The paper's default shared L2: 256 KB, 8-way, 20-cycle hit (§II, §V-A).
+    #[must_use]
+    pub fn l2_default() -> Self {
+        CacheConfig {
+            name: "L2",
+            size_bytes: 256 * KIB,
+            ways: 8,
+            hit_latency: 20,
+            mshr_entries: 64,
+        }
+    }
+
+    /// The paper's default NSB: 16 KB, high-associativity, near-NPU latency
+    /// (§IV-G argues for high-way set-associative mapping).
+    #[must_use]
+    pub fn nsb_default() -> Self {
+        CacheConfig {
+            name: "NSB",
+            size_bytes: 16 * KIB,
+            ways: 16,
+            hit_latency: 2,
+            mshr_entries: 16,
+        }
+    }
+
+    /// Same configuration with a different capacity (sensitivity sweeps).
+    #[must_use]
+    pub fn with_size(mut self, size_bytes: u64) -> Self {
+        self.size_bytes = size_bytes;
+        self
+    }
+
+    /// Same configuration with a different associativity.
+    #[must_use]
+    pub fn with_ways(mut self, ways: u64) -> Self {
+        self.ways = ways;
+        self
+    }
+
+    /// Number of sets implied by the geometry.
+    #[must_use]
+    pub fn sets(&self) -> u64 {
+        self.size_bytes / (LINE_BYTES * self.ways)
+    }
+
+    /// Checks the geometry is realisable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NvrError::Config`] if the capacity is not an exact multiple
+    /// of `ways * LINE_BYTES` or any field is zero. (Set counts need not be
+    /// powers of two — the index function is modulo — which permits the
+    /// paper's 192 KB and 384 KB sweep points of Fig. 9.)
+    pub fn validate(&self) -> Result<(), NvrError> {
+        if self.size_bytes == 0 || self.ways == 0 || self.mshr_entries == 0 {
+            return Err(NvrError::Config(format!(
+                "{}: size, ways and MSHR count must be non-zero",
+                self.name
+            )));
+        }
+        if self.size_bytes % (LINE_BYTES * self.ways) != 0 {
+            return Err(NvrError::Config(format!(
+                "{}: size {} is not a multiple of ways*line ({})",
+                self.name,
+                self.size_bytes,
+                LINE_BYTES * self.ways
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Timing of the off-chip DRAM channel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DramConfig {
+    /// Latency from request issue to first data, in cycles (pipelined).
+    pub latency: Cycle,
+    /// Channel throughput in bytes per cycle. At the paper's 2 GHz NPU
+    /// clock, 8 B/cycle models a 16 GB/s LPDDR-class channel.
+    pub bytes_per_cycle: u64,
+}
+
+impl DramConfig {
+    /// Cycles the channel is occupied transferring one cache line.
+    #[must_use]
+    pub fn line_transfer_cycles(&self) -> Cycle {
+        nvr_common::div_ceil(LINE_BYTES, self.bytes_per_cycle)
+    }
+
+    /// Checks the configuration is realisable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NvrError::Config`] if the bandwidth is zero.
+    pub fn validate(&self) -> Result<(), NvrError> {
+        if self.bytes_per_cycle == 0 {
+            return Err(NvrError::Config(
+                "DRAM bytes_per_cycle must be non-zero".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for DramConfig {
+    fn default() -> Self {
+        DramConfig {
+            latency: 300,
+            bytes_per_cycle: 8,
+        }
+    }
+}
+
+/// Full memory-system configuration.
+///
+/// # Examples
+///
+/// ```
+/// use nvr_mem::{CacheConfig, MemoryConfig};
+///
+/// let with_nsb = MemoryConfig::default().with_nsb(CacheConfig::nsb_default());
+/// assert!(with_nsb.nsb.is_some());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemoryConfig {
+    /// Optional in-NPU speculative buffer in front of the L2.
+    pub nsb: Option<CacheConfig>,
+    /// The shared L2 cache.
+    pub l2: CacheConfig,
+    /// The off-chip channel.
+    pub dram: DramConfig,
+    /// Dedicated prefetch MSHR file (§IV-G): speculative fills are tracked
+    /// separately from demand misses, so prefetching cannot starve the
+    /// demand path of MSHRs and vice versa.
+    pub prefetch_mshrs: usize,
+}
+
+impl MemoryConfig {
+    /// Adds (or replaces) the NSB level.
+    #[must_use]
+    pub fn with_nsb(mut self, nsb: CacheConfig) -> Self {
+        self.nsb = Some(nsb);
+        self
+    }
+
+    /// Replaces the L2 configuration.
+    #[must_use]
+    pub fn with_l2(mut self, l2: CacheConfig) -> Self {
+        self.l2 = l2;
+        self
+    }
+
+    /// Replaces the DRAM configuration.
+    #[must_use]
+    pub fn with_dram(mut self, dram: DramConfig) -> Self {
+        self.dram = dram;
+        self
+    }
+
+    /// Best-case load-to-use latency for an NPU demand access (all-hit path).
+    #[must_use]
+    pub fn min_demand_latency(&self) -> Cycle {
+        match &self.nsb {
+            Some(nsb) => nsb.hit_latency,
+            None => self.l2.hit_latency,
+        }
+    }
+
+    /// Checks every level.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NvrError::Config`] if any level's configuration is invalid.
+    pub fn validate(&self) -> Result<(), NvrError> {
+        if let Some(nsb) = &self.nsb {
+            nsb.validate()?;
+        }
+        self.l2.validate()?;
+        self.dram.validate()
+    }
+}
+
+impl Default for MemoryConfig {
+    fn default() -> Self {
+        MemoryConfig {
+            nsb: None,
+            l2: CacheConfig::l2_default(),
+            dram: DramConfig::default(),
+            prefetch_mshrs: 32,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_valid() {
+        MemoryConfig::default().validate().expect("default valid");
+        MemoryConfig::default()
+            .with_nsb(CacheConfig::nsb_default())
+            .validate()
+            .expect("default+nsb valid");
+    }
+
+    #[test]
+    fn l2_geometry() {
+        let l2 = CacheConfig::l2_default();
+        assert_eq!(l2.sets(), 256 * KIB / (64 * 8));
+    }
+
+    #[test]
+    fn invalid_geometry_rejected() {
+        let bad = CacheConfig::l2_default().with_size(100);
+        assert!(bad.validate().is_err());
+        let bad = CacheConfig {
+            ways: 0,
+            ..CacheConfig::l2_default()
+        };
+        assert!(bad.validate().is_err());
+        // 3 sets: allowed (modulo indexing), as Fig. 9's 192/384 KB points
+        // require non-power-of-two set counts.
+        let odd = CacheConfig {
+            size_bytes: 3 * 8 * 64,
+            ..CacheConfig::l2_default()
+        };
+        assert!(odd.validate().is_ok());
+    }
+
+    #[test]
+    fn dram_transfer_cycles() {
+        let dram = DramConfig::default();
+        assert_eq!(dram.line_transfer_cycles(), 8);
+        let slow = DramConfig {
+            bytes_per_cycle: 3,
+            ..DramConfig::default()
+        };
+        assert_eq!(slow.line_transfer_cycles(), 22);
+    }
+
+    #[test]
+    fn zero_bandwidth_rejected() {
+        let bad = DramConfig {
+            bytes_per_cycle: 0,
+            ..DramConfig::default()
+        };
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn min_latency_tracks_nsb() {
+        let base = MemoryConfig::default();
+        assert_eq!(base.min_demand_latency(), 20);
+        let with_nsb = base.with_nsb(CacheConfig::nsb_default());
+        assert_eq!(with_nsb.min_demand_latency(), 2);
+    }
+}

@@ -1,0 +1,42 @@
+//! Memory-hierarchy substrate for the NVR simulator.
+//!
+//! Models the paper's memory system (§IV-A, Fig. 3): an optional in-NPU
+//! non-blocking speculative buffer (NSB) in front of a shared L2 cache,
+//! backed by a bandwidth-limited DRAM channel, plus the NPU scratchpad for
+//! dense operands.
+//!
+//! # Timing model
+//!
+//! The hierarchy uses *timestamp forwarding*: every access returns the cycle
+//! at which its data is usable, and in-flight fills are recorded as
+//! `(line, fill_done)` pairs rather than simulated event-by-event. A demand
+//! that arrives while "its" line is still in flight merges into the pending
+//! fill (MSHR coalescing) and becomes ready at the fill-completion cycle.
+//! This reproduces non-blocking cache behaviour — including partial coverage
+//! from late prefetches — at a fraction of the cost of a full event queue.
+//!
+//! # Examples
+//!
+//! ```
+//! use nvr_mem::{MemoryConfig, MemorySystem};
+//! use nvr_common::LineAddr;
+//!
+//! let mut mem = MemorySystem::new(MemoryConfig::default());
+//! let miss = mem.demand_line(LineAddr::new(0x100), 0);
+//! let hit = mem.demand_line(LineAddr::new(0x100), miss.ready_at);
+//! assert!(hit.ready_at < miss.ready_at + 30);
+//! ```
+
+pub mod cache;
+pub mod config;
+pub mod dram;
+pub mod hierarchy;
+pub mod scratchpad;
+pub mod stats;
+
+pub use cache::{Cache, ProbeResult};
+pub use config::{CacheConfig, DramConfig, MemoryConfig};
+pub use dram::Dram;
+pub use hierarchy::{AccessOutcome, AccessResult, MemorySystem, PrefetchOutcome};
+pub use scratchpad::Scratchpad;
+pub use stats::{CacheStats, DramStats, MemoryStats};

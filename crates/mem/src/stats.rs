@@ -1,0 +1,248 @@
+//! Statistics collected by the memory hierarchy.
+
+use std::fmt;
+
+use nvr_common::Counter;
+
+/// Per-cache-level counters.
+///
+/// Accuracy and coverage (the paper's Fig. 6 metrics) are derived:
+///
+/// * **accuracy** = `prefetch_useful / (prefetch_useful + unused)` where
+///   unused counts evicted-unused plus resident-unused prefetched lines.
+/// * **coverage** is computed by the experiment harness from a paired
+///   no-prefetch baseline run ([`crate::hierarchy::MemorySystem`] exposes the
+///   per-run miss counts it needs).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Level name (e.g. "L2").
+    pub name: &'static str,
+    /// Demand accesses that hit a filled line.
+    pub demand_hits: Counter,
+    /// Demand accesses that found the line absent.
+    pub demand_misses: Counter,
+    /// Demand accesses that merged into an outstanding fill.
+    pub mshr_merges: Counter,
+    /// Prefetches accepted (line absent, MSHR available).
+    pub prefetch_issued: Counter,
+    /// Prefetches dropped because the line was already resident or in flight.
+    pub prefetch_redundant: Counter,
+    /// Prefetches dropped because the MSHR file was full.
+    pub prefetch_dropped: Counter,
+    /// Prefetched lines that were later demanded (first touch only).
+    pub prefetch_useful: Counter,
+    /// Subset of `prefetch_useful` where the demand arrived mid-fill.
+    pub prefetch_late: Counter,
+    /// Lines evicted.
+    pub evictions: Counter,
+    /// Prefetched lines evicted without ever being demanded.
+    pub prefetch_evicted_unused: Counter,
+    /// Prefetched lines still resident and undemanded at finalisation.
+    pub prefetch_resident_unused: Counter,
+}
+
+impl CacheStats {
+    /// Fresh counters for the named level.
+    #[must_use]
+    pub fn new(name: &'static str) -> Self {
+        CacheStats {
+            name,
+            ..CacheStats::default()
+        }
+    }
+
+    /// Total demand accesses (hits + merges + misses).
+    #[must_use]
+    pub fn demand_accesses(&self) -> u64 {
+        self.demand_hits.get() + self.mshr_merges.get() + self.demand_misses.get()
+    }
+
+    /// Demand miss rate counting MSHR merges as misses avoided
+    /// (`misses / accesses`); 0 when idle.
+    #[must_use]
+    pub fn miss_rate(&self) -> f64 {
+        let total = self.demand_accesses();
+        if total == 0 {
+            0.0
+        } else {
+            self.demand_misses.get() as f64 / total as f64
+        }
+    }
+
+    /// Prefetch accuracy: useful / (useful + unused). 0 when no prefetches.
+    #[must_use]
+    pub fn prefetch_accuracy(&self) -> f64 {
+        let useful = self.prefetch_useful.get();
+        let unused = self.prefetch_evicted_unused.get() + self.prefetch_resident_unused.get();
+        if useful + unused == 0 {
+            0.0
+        } else {
+            useful as f64 / (useful + unused) as f64
+        }
+    }
+}
+
+impl fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} acc, {:.1}% miss, pf {} issued / {:.1}% accurate",
+            self.name,
+            self.demand_accesses(),
+            self.miss_rate() * 100.0,
+            self.prefetch_issued.get(),
+            self.prefetch_accuracy() * 100.0,
+        )
+    }
+}
+
+/// Off-chip channel counters.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DramStats {
+    /// Lines fetched on behalf of demand misses.
+    pub demand_lines: Counter,
+    /// Lines fetched on behalf of prefetches.
+    pub prefetch_lines: Counter,
+    /// Bytes written back / streamed out.
+    pub write_bytes: Counter,
+    /// Dense DMA read bytes (scratchpad fills), which bypass the caches.
+    pub dma_bytes: Counter,
+    /// Cycles the channel spent transferring data.
+    pub busy_cycles: Counter,
+}
+
+impl DramStats {
+    /// Total lines moved over the channel.
+    #[must_use]
+    pub fn total_lines(&self) -> u64 {
+        self.demand_lines.get() + self.prefetch_lines.get()
+    }
+
+    /// Total read bytes moved over the channel.
+    #[must_use]
+    pub fn read_bytes(&self) -> u64 {
+        self.total_lines() * nvr_common::LINE_BYTES
+    }
+}
+
+impl fmt::Display for DramStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "DRAM: {} demand lines, {} prefetch lines, {} write bytes",
+            self.demand_lines.get(),
+            self.prefetch_lines.get(),
+            self.write_bytes.get(),
+        )
+    }
+}
+
+/// Aggregated snapshot of the full hierarchy, cheap to clone out of a run.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MemoryStats {
+    /// NSB counters when the NSB is present.
+    pub nsb: Option<CacheStats>,
+    /// L2 counters.
+    pub l2: CacheStats,
+    /// Channel counters.
+    pub dram: DramStats,
+}
+
+impl MemoryStats {
+    /// Demand misses at the level closest to the NPU — the quantity the
+    /// paper's miss-reduction claims are phrased in.
+    #[must_use]
+    pub fn npu_visible_misses(&self) -> u64 {
+        match &self.nsb {
+            Some(nsb) => nsb.demand_misses.get(),
+            None => self.l2.demand_misses.get(),
+        }
+    }
+
+    /// Off-chip lines fetched for demand misses (the Fig. 6c metric:
+    /// off-chip accesses during actual load execution).
+    #[must_use]
+    pub fn demand_offchip_lines(&self) -> u64 {
+        self.dram.demand_lines.get()
+    }
+
+    /// Combined prefetch accuracy across levels: useful / (useful + unused).
+    /// Usefulness is observed wherever a demand first touches a prefetched
+    /// line (NSB when present, else L2).
+    #[must_use]
+    pub fn prefetch_accuracy(&self) -> f64 {
+        let mut useful = self.l2.prefetch_useful.get();
+        let mut unused =
+            self.l2.prefetch_evicted_unused.get() + self.l2.prefetch_resident_unused.get();
+        if let Some(nsb) = &self.nsb {
+            useful += nsb.prefetch_useful.get();
+            unused += nsb.prefetch_evicted_unused.get() + nsb.prefetch_resident_unused.get();
+        }
+        if useful + unused == 0 {
+            0.0
+        } else {
+            useful as f64 / (useful + unused) as f64
+        }
+    }
+}
+
+impl fmt::Display for MemoryStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(nsb) = &self.nsb {
+            writeln!(f, "{nsb}")?;
+        }
+        writeln!(f, "{}", self.l2)?;
+        write!(f, "{}", self.dram)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_rate_counts_merges_in_denominator() {
+        let mut s = CacheStats::new("T");
+        s.demand_hits.add(6);
+        s.mshr_merges.add(2);
+        s.demand_misses.add(2);
+        assert!((s.miss_rate() - 0.2).abs() < 1e-12);
+        assert_eq!(s.demand_accesses(), 10);
+    }
+
+    #[test]
+    fn accuracy_includes_resident_unused() {
+        let mut s = CacheStats::new("T");
+        s.prefetch_useful.add(8);
+        s.prefetch_evicted_unused.add(1);
+        s.prefetch_resident_unused.add(1);
+        assert!((s.prefetch_accuracy() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_rates_are_zero() {
+        let s = CacheStats::new("T");
+        assert_eq!(s.miss_rate(), 0.0);
+        assert_eq!(s.prefetch_accuracy(), 0.0);
+    }
+
+    #[test]
+    fn npu_visible_misses_prefers_nsb() {
+        let mut m = MemoryStats::default();
+        m.l2.demand_misses.add(10);
+        assert_eq!(m.npu_visible_misses(), 10);
+        let mut nsb = CacheStats::new("NSB");
+        nsb.demand_misses.add(3);
+        m.nsb = Some(nsb);
+        assert_eq!(m.npu_visible_misses(), 3);
+    }
+
+    #[test]
+    fn dram_byte_accounting() {
+        let mut d = DramStats::default();
+        d.demand_lines.add(2);
+        d.prefetch_lines.add(3);
+        assert_eq!(d.total_lines(), 5);
+        assert_eq!(d.read_bytes(), 5 * 64);
+    }
+}

@@ -1,0 +1,125 @@
+//! The prefetcher interface driven by the NPU engine.
+
+use nvr_common::Cycle;
+use nvr_mem::MemorySystem;
+use nvr_trace::{AccessEvent, MemoryImage, SnoopState};
+
+/// A hardware prefetcher attached to the NPU's memory system.
+///
+/// The engine calls [`Prefetcher::observe`] for every demand access it
+/// issues (the request/response bus a real prefetcher snoops), and
+/// [`Prefetcher::advance`] to grant wall-clock windows in which the
+/// prefetcher may perform speculative work and issue prefetches into `mem`.
+///
+/// # Honesty contract
+///
+/// Implementations must not look at future program state. Everything they
+/// may use arrives through three channels:
+///
+/// 1. the demand-access event stream (`observe`),
+/// 2. the snoopable architectural state (`snoop`) — and only the fields the
+///    modelled hardware could see (each implementation documents which),
+/// 3. *speculative memory reads*: index values read from `image`, but only
+///    for lines the implementation has itself made resident (checked
+///    through `mem`) — this is runahead execution, not oracle knowledge.
+pub trait Prefetcher {
+    /// Short display name ("Stream", "IMP", "DVR", "NVR").
+    fn name(&self) -> &'static str;
+
+    /// Observes one demand access event.
+    ///
+    /// `image` is available for reads of *resident* lines only (data the
+    /// hardware has on-chip, e.g. index values ahead in an already-cached
+    /// index line) — see the honesty contract above.
+    fn observe(
+        &mut self,
+        event: &AccessEvent,
+        snoop: &SnoopState,
+        image: &MemoryImage,
+        mem: &mut MemorySystem,
+    );
+
+    /// Performs speculative work during the window `[from, to)`.
+    ///
+    /// Called by the engine whenever simulated time passes; the prefetcher
+    /// maintains its own internal clock within the window and may leave
+    /// work pending for the next call.
+    fn advance(
+        &mut self,
+        from: Cycle,
+        to: Cycle,
+        snoop: &SnoopState,
+        image: &MemoryImage,
+        mem: &mut MemorySystem,
+    );
+
+    /// Whether this prefetcher's fills should also populate the NSB
+    /// (§IV-G: NSB pays off only with accurate prefetchers; the engine
+    /// honours this flag when an NSB is configured).
+    fn fills_nsb(&self) -> bool {
+        false
+    }
+}
+
+/// The no-prefetching baseline (the paper's in-order / OoO "no prefetch"
+/// configurations).
+///
+/// # Examples
+///
+/// ```
+/// use nvr_prefetch::{NullPrefetcher, Prefetcher};
+///
+/// let p = NullPrefetcher::new();
+/// assert_eq!(p.name(), "None");
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullPrefetcher;
+
+impl NullPrefetcher {
+    /// Creates the null prefetcher.
+    #[must_use]
+    pub fn new() -> Self {
+        NullPrefetcher
+    }
+}
+
+impl Prefetcher for NullPrefetcher {
+    fn name(&self) -> &'static str {
+        "None"
+    }
+
+    fn observe(&mut self, _: &AccessEvent, _: &SnoopState, _: &MemoryImage, _: &mut MemorySystem) {}
+
+    fn advance(&mut self, _: Cycle, _: Cycle, _: &SnoopState, _: &MemoryImage, _: &mut MemorySystem) {
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_prefetcher_is_inert() {
+        use nvr_common::Addr;
+        use nvr_mem::MemoryConfig;
+
+        let mut p = NullPrefetcher::new();
+        let mut mem = MemorySystem::new(MemoryConfig::default());
+        let snoop = SnoopState {
+            tile: 0,
+            total_tiles: 1,
+            index_base: Addr::new(0),
+            elem_start: 0,
+            elem_end: 0,
+            elem_consumed: 0,
+            gather: None,
+            npu_load_in_flight: false,
+            sparse_unit_idle: true,
+        };
+        let ev = AccessEvent::gather(0, 0, Addr::new(0x40), true);
+        p.observe(&ev, &snoop, &MemoryImage::new(), &mut mem);
+        p.advance(0, 100, &snoop, &MemoryImage::new(), &mut mem);
+        assert_eq!(mem.stats().dram.prefetch_lines.get(), 0);
+        assert!(!p.fills_nsb());
+    }
+}

@@ -1,0 +1,50 @@
+//! Property-based tests of the prefetcher building blocks.
+
+use proptest::prelude::*;
+
+use nvr_common::Addr;
+use nvr_prefetch::StrideEntry;
+
+proptest! {
+    /// A constant-stride stream always trains the entry to that stride,
+    /// and its predictions extrapolate it exactly.
+    #[test]
+    fn stride_entry_learns_any_stride(
+        base in 0u64..1 << 40,
+        stride in 1u64..100_000,
+        steps in 3u64..32,
+        ahead in 1u64..8,
+    ) {
+        let mut e = StrideEntry::new();
+        for i in 0..steps {
+            e.update(Addr::new(base + i * stride));
+        }
+        prop_assert_eq!(e.stride(), stride as i64);
+        prop_assert!(e.is_confident());
+        let last = base + (steps - 1) * stride;
+        prop_assert_eq!(e.predict(ahead), Some(Addr::new(last + ahead * stride)));
+    }
+
+    /// Random address noise never leaves the entry confidently wrong about
+    /// a stride it hasn't seen twice in a row.
+    #[test]
+    fn stride_entry_no_false_confidence(addrs in prop::collection::vec(0u64..1 << 20, 2..40)) {
+        let mut e = StrideEntry::new();
+        let mut last_delta: Option<i64> = None;
+        let mut repeat = false;
+        for w in addrs.windows(2) {
+            let d = w[1] as i64 - w[0] as i64;
+            if last_delta == Some(d) && d != 0 {
+                repeat = true;
+            }
+            last_delta = Some(d);
+        }
+        for &a in &addrs {
+            e.update(Addr::new(a));
+        }
+        if !repeat {
+            // No delta ever repeated consecutively: confidence impossible.
+            prop_assert!(!e.is_confident());
+        }
+    }
+}

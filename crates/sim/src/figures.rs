@@ -1,0 +1,15 @@
+//! One driver per table/figure of the paper's evaluation (§V).
+//!
+//! Every driver exposes `run(...) -> Data` returning structured results and
+//! a `Display` implementation printing the paper-style rendition; the
+//! `nvr-bench` binaries and Criterion benches are thin wrappers over these.
+
+pub mod fig1b;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod headline;
+pub mod table1;
+pub mod table2;

@@ -1,0 +1,275 @@
+//! Fig. 6 — prefetcher accuracy (a), coverage (b) and data-movement
+//! optimisation (c).
+//!
+//! Accuracy and coverage per workload for the four prefetchers; panel (c)
+//! reports off-chip demand traffic during actual load execution for InO,
+//! NVR and NVR+NSB (the paper's 30x / further 5x reductions).
+
+use std::fmt;
+
+use nvr_common::DataWidth;
+use nvr_core::nsb_config;
+use nvr_mem::MemoryConfig;
+use nvr_workloads::{Scale, WorkloadId, WorkloadSpec};
+
+use crate::metrics::coverage;
+use crate::report::{fmt3, Table};
+use crate::runner::{run_system, SystemKind};
+
+/// Accuracy/coverage of one (workload, prefetcher) pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AccCov {
+    /// Workload short name.
+    pub workload: &'static str,
+    /// Prefetcher label.
+    pub system: &'static str,
+    /// Prefetch accuracy in `[0, 1]`.
+    pub accuracy: f64,
+    /// Miss coverage in `[0, 1]`.
+    pub coverage: f64,
+}
+
+/// Panel (c): data-movement split of one system.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Movement {
+    /// System label ("InO", "NVR", "NVR+NSB").
+    pub system: String,
+    /// Off-chip demand lines during actual loads.
+    pub offchip_lines: u64,
+    /// On-chip (cache-hit) demand accesses.
+    pub onchip_hits: u64,
+}
+
+/// The Fig. 6 data set.
+#[derive(Debug, Clone, Default)]
+pub struct Fig6 {
+    /// Accuracy/coverage cells (a, b).
+    pub cells: Vec<AccCov>,
+    /// Data movement panel (c).
+    pub movement: Vec<Movement>,
+}
+
+impl Fig6 {
+    /// Average accuracy of one prefetcher across workloads.
+    #[must_use]
+    pub fn avg_accuracy(&self, system: &str) -> f64 {
+        let vals: Vec<f64> = self
+            .cells
+            .iter()
+            .filter(|c| c.system == system)
+            .map(|c| c.accuracy)
+            .collect();
+        if vals.is_empty() {
+            0.0
+        } else {
+            vals.iter().sum::<f64>() / vals.len() as f64
+        }
+    }
+
+    /// Average coverage of one prefetcher across workloads.
+    #[must_use]
+    pub fn avg_coverage(&self, system: &str) -> f64 {
+        let vals: Vec<f64> = self
+            .cells
+            .iter()
+            .filter(|c| c.system == system)
+            .map(|c| c.coverage)
+            .collect();
+        if vals.is_empty() {
+            0.0
+        } else {
+            vals.iter().sum::<f64>() / vals.len() as f64
+        }
+    }
+
+    /// Off-chip reduction factor of NVR vs InO (panel c).
+    #[must_use]
+    pub fn nvr_offchip_reduction(&self) -> f64 {
+        let find = |name: &str| {
+            self.movement
+                .iter()
+                .find(|m| m.system == name)
+                .map_or(0, |m| m.offchip_lines)
+        };
+        let ino = find("InO");
+        let nvr = find("NVR").max(1);
+        ino as f64 / nvr as f64
+    }
+
+    /// Additional off-chip reduction of the NSB on top of NVR (panel c).
+    #[must_use]
+    pub fn nsb_extra_reduction(&self) -> f64 {
+        let find = |name: &str| {
+            self.movement
+                .iter()
+                .find(|m| m.system == name)
+                .map_or(0, |m| m.offchip_lines)
+        };
+        let nvr = find("NVR");
+        let nsb = find("NVR+NSB").max(1);
+        nvr as f64 / nsb as f64
+    }
+}
+
+/// Runs accuracy/coverage for every workload and prefetcher, plus the
+/// movement panel on the DS workload.
+#[must_use]
+pub fn run(scale: Scale, seed: u64) -> Fig6 {
+    run_with_workloads(scale, seed, &WorkloadId::ALL)
+}
+
+/// Runs with a workload subset (tests use fewer).
+#[must_use]
+pub fn run_with_workloads(scale: Scale, seed: u64, workloads: &[WorkloadId]) -> Fig6 {
+    let mem_cfg = MemoryConfig::default();
+    let mut cells = Vec::new();
+    for &w in workloads {
+        let spec = WorkloadSpec {
+            width: DataWidth::Fp16,
+            seed,
+            scale,
+        };
+        let program = w.build(&spec);
+        let baseline = run_system(&program, &mem_cfg, SystemKind::InOrder);
+        let base_misses = baseline.result.mem.l2.demand_misses.get();
+        for system in SystemKind::PREFETCHERS {
+            let o = run_system(&program, &mem_cfg, system);
+            cells.push(AccCov {
+                workload: w.short(),
+                system: system.label(),
+                accuracy: o.result.mem.prefetch_accuracy(),
+                coverage: coverage(base_misses, o.result.mem.l2.demand_misses.get()),
+            });
+        }
+    }
+
+    // Panel (c): DS-class data movement, InO vs NVR vs NVR+NSB.
+    let spec = WorkloadSpec {
+        width: DataWidth::Fp16,
+        seed,
+        scale,
+    };
+    let program = WorkloadId::Ds.build(&spec);
+    let mut movement = Vec::new();
+    let ino = run_system(&program, &mem_cfg, SystemKind::InOrder);
+    movement.push(Movement {
+        system: "InO".into(),
+        offchip_lines: ino.result.mem.demand_offchip_lines(),
+        onchip_hits: ino.result.mem.l2.demand_hits.get(),
+    });
+    let nvr = run_system(&program, &mem_cfg, SystemKind::Nvr);
+    movement.push(Movement {
+        system: "NVR".into(),
+        offchip_lines: nvr.result.mem.demand_offchip_lines(),
+        onchip_hits: nvr.result.mem.l2.demand_hits.get(),
+    });
+    let nsb_cfg = MemoryConfig::default().with_nsb(nsb_config(16));
+    let nsb = run_system(&program, &nsb_cfg, SystemKind::Nvr);
+    let nsb_hits = nsb
+        .result
+        .mem
+        .nsb
+        .as_ref()
+        .map_or(0, |s| s.demand_hits.get());
+    movement.push(Movement {
+        system: "NVR+NSB".into(),
+        offchip_lines: nsb.result.mem.demand_offchip_lines(),
+        onchip_hits: nsb.result.mem.l2.demand_hits.get() + nsb_hits,
+    });
+
+    Fig6 { cells, movement }
+}
+
+impl fmt::Display for Fig6 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Fig. 6a/b — prefetcher accuracy and coverage")?;
+        let mut t = Table::new(vec![
+            "workload".into(),
+            "system".into(),
+            "accuracy".into(),
+            "coverage".into(),
+        ]);
+        for c in &self.cells {
+            t.row(vec![
+                c.workload.into(),
+                c.system.into(),
+                fmt3(c.accuracy),
+                fmt3(c.coverage),
+            ]);
+        }
+        writeln!(f, "{t}")?;
+        for s in ["Stream", "IMP", "DVR", "NVR"] {
+            writeln!(
+                f,
+                "  {s}: avg accuracy {:.2}, avg coverage {:.2}",
+                self.avg_accuracy(s),
+                self.avg_coverage(s)
+            )?;
+        }
+        writeln!(f)?;
+        writeln!(f, "Fig. 6c — off-chip demand traffic during actual loads (DS)")?;
+        let mut t = Table::new(vec![
+            "system".into(),
+            "off-chip lines".into(),
+            "on-chip hits".into(),
+        ]);
+        for m in &self.movement {
+            t.row(vec![
+                m.system.clone(),
+                m.offchip_lines.to_string(),
+                m.onchip_hits.to_string(),
+            ]);
+        }
+        writeln!(f, "{t}")?;
+        writeln!(
+            f,
+            "NVR off-chip reduction vs InO: {:.1}x; NSB further: {:.1}x",
+            self.nvr_offchip_reduction(),
+            self.nsb_extra_reduction()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nvr_leads_accuracy_and_coverage() {
+        // Two contrasting workloads keep the test fast: affine DS and
+        // two-level MK.
+        let fig = run_with_workloads(Scale::Tiny, 5, &[WorkloadId::Ds, WorkloadId::Mk]);
+        let nvr_cov = fig.avg_coverage("NVR");
+        for s in ["Stream", "IMP", "DVR"] {
+            assert!(
+                nvr_cov >= fig.avg_coverage(s),
+                "NVR coverage {nvr_cov} vs {s} {}",
+                fig.avg_coverage(s)
+            );
+        }
+        assert!(nvr_cov > 0.6, "NVR coverage should be high ({nvr_cov})");
+        assert!(
+            fig.avg_accuracy("NVR") > 0.7,
+            "NVR accuracy {}",
+            fig.avg_accuracy("NVR")
+        );
+    }
+
+    #[test]
+    fn movement_panel_shows_offchip_collapse() {
+        let fig = run_with_workloads(Scale::Tiny, 6, &[WorkloadId::Ds]);
+        assert_eq!(fig.movement.len(), 3);
+        assert!(
+            fig.nvr_offchip_reduction() > 3.0,
+            "NVR should slash demand off-chip traffic ({}x)",
+            fig.nvr_offchip_reduction()
+        );
+        // The NSB's job is NPU-side latency/traffic, not L2 miss count;
+        // allow timing noise either way but no large regression.
+        assert!(
+            fig.nsb_extra_reduction() >= 0.8,
+            "NSB should not regress off-chip traffic materially ({}x)",
+            fig.nsb_extra_reduction()
+        );
+    }
+}

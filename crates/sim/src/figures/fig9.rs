@@ -1,0 +1,194 @@
+//! Fig. 9 — NSB vs L2 sizing sensitivity.
+//!
+//! Sweeps NSB capacity {4..32 KB} against L2 capacity {64..1024 KB} under
+//! NVR+NSB on the reuse-heavy H2O workload (whose heavy-hitter set is in
+//! the NSB's capacity range), reporting a transparent performance metric:
+//! the inverse of latency x area, with area the summed SRAM capacity. The
+//! paper's own metric definition ("the product of NSB and L2 Cache
+//! dimensions") is not numerically recoverable from its garbled Fig. 9
+//! cells; EXPERIMENTS.md records the deviation.
+
+use std::fmt;
+
+use nvr_common::{DataWidth, LINE_BYTES};
+use nvr_core::{nsb_config, NvrConfig, NvrPrefetcher};
+use nvr_mem::{CacheConfig, MemoryConfig, MemorySystem};
+use nvr_npu::{NpuConfig, NpuEngine};
+use nvr_workloads::{Scale, WorkloadId, WorkloadSpec};
+
+use crate::report::{fmt3, Table};
+
+/// One cell of the sensitivity grid.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Cell {
+    /// NSB capacity in KB.
+    pub nsb_kb: u64,
+    /// L2 capacity in KB.
+    pub l2_kb: u64,
+    /// Total cycles of the NVR+NSB run.
+    pub cycles: u64,
+    /// The paper's metric: `1e9 / (latency x area_kb)`, higher is better.
+    pub perf: f64,
+}
+
+/// The Fig. 9 grid.
+#[derive(Debug, Clone, Default)]
+pub struct Fig9 {
+    /// All grid cells, row-major by NSB size.
+    pub cells: Vec<Cell>,
+}
+
+/// NSB sweep points (KB).
+pub const NSB_SIZES: [u64; 4] = [4, 8, 16, 32];
+/// L2 sweep points (KB).
+pub const L2_SIZES: [u64; 7] = [64, 128, 192, 256, 384, 512, 1024];
+
+impl Fig9 {
+    /// The cell at the given sizes.
+    #[must_use]
+    pub fn cell(&self, nsb_kb: u64, l2_kb: u64) -> Option<&Cell> {
+        self.cells
+            .iter()
+            .find(|c| c.nsb_kb == nsb_kb && c.l2_kb == l2_kb)
+    }
+
+    /// The paper's comparison at (256 KB L2, 4 KB NSB): perf deltas from
+    /// quadrupling the NSB vs growing the L2 to 1024 KB.
+    /// Returns `(nsb_gain, l2_gain)`.
+    #[must_use]
+    pub fn nsb_vs_l2_benefit(&self) -> Option<(f64, f64)> {
+        let base = self.cell(4, 256)?.perf;
+        let nsb_up = self.cell(16, 256)?.perf;
+        let l2_up = self.cell(4, 1024)?.perf;
+        Some((nsb_up - base, l2_up - base))
+    }
+}
+
+/// Runs the sweep (optionally restricted for tests).
+#[must_use]
+pub fn run_subset(scale: Scale, seed: u64, nsb_sizes: &[u64], l2_sizes: &[u64]) -> Fig9 {
+    let spec = WorkloadSpec {
+        width: DataWidth::Fp16,
+        seed,
+        scale,
+    };
+    let program = WorkloadId::H2o.build(&spec);
+    let engine = NpuEngine::new(NpuConfig::default());
+    let mut cells = Vec::new();
+    for &nsb_kb in nsb_sizes {
+        for &l2_kb in l2_sizes {
+            let mem_cfg = MemoryConfig::default()
+                .with_l2(CacheConfig::l2_default().with_size(l2_kb * 1024))
+                .with_nsb(nsb_config(nsb_kb));
+            // Co-design: the NSB is the speculative buffer, so it bounds
+            // how much speculative state NVR may keep in flight (§IV-G) —
+            // half its lines, leaving the rest for resident reuse.
+            let lookahead = ((nsb_kb * 1024 / LINE_BYTES) / 2).max(16) as usize;
+            let nvr_cfg = NvrConfig {
+                fill_nsb: true,
+                lookahead_lines: lookahead,
+                ..NvrConfig::default()
+            };
+            let mut mem = MemorySystem::new(mem_cfg);
+            let mut nvr = NvrPrefetcher::new(nvr_cfg);
+            let result = engine.run(&program, &mut mem, &mut nvr);
+            let area_kb = (nsb_kb + l2_kb) as f64;
+            cells.push(Cell {
+                nsb_kb,
+                l2_kb,
+                cycles: result.total_cycles,
+                perf: 1.0e9 / (result.total_cycles as f64 * area_kb),
+            });
+        }
+    }
+    Fig9 { cells }
+}
+
+/// Runs the full paper grid.
+#[must_use]
+pub fn run(scale: Scale, seed: u64) -> Fig9 {
+    run_subset(scale, seed, &NSB_SIZES, &L2_SIZES)
+}
+
+impl fmt::Display for Fig9 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Fig. 9 — perf = 1e9 / (latency x area); higher is better")?;
+        let l2s: Vec<u64> = {
+            let mut v: Vec<u64> = self.cells.iter().map(|c| c.l2_kb).collect();
+            v.sort_unstable();
+            v.dedup();
+            v
+        };
+        let nsbs: Vec<u64> = {
+            let mut v: Vec<u64> = self.cells.iter().map(|c| c.nsb_kb).collect();
+            v.sort_unstable();
+            v.dedup();
+            v
+        };
+        let mut headers = vec!["NSB\\L2 (KB)".to_owned()];
+        headers.extend(l2s.iter().map(u64::to_string));
+        let mut t = Table::new(headers);
+        for &n in &nsbs {
+            let mut row = vec![n.to_string()];
+            for &l in &l2s {
+                row.push(self.cell(n, l).map_or("-".into(), |c| fmt3(c.perf)));
+            }
+            t.row(row);
+        }
+        writeln!(f, "{t}")?;
+        if let Some((nsb_gain, l2_gain)) = self.nsb_vs_l2_benefit() {
+            writeln!(
+                f,
+                "4x NSB (4->16 KB @ 256 KB L2): perf {}{}; 4x L2 (256->1024 KB @ 4 KB NSB): perf {}{}",
+                if nsb_gain >= 0.0 { "+" } else { "" },
+                fmt3(nsb_gain),
+                if l2_gain >= 0.0 { "+" } else { "" },
+                fmt3(l2_gain),
+            )?;
+            if l2_gain > 0.0 {
+                writeln!(f, "NSB scaling delivers {}x the benefit", fmt3(nsb_gain / l2_gain))?;
+            } else {
+                writeln!(
+                    f,
+                    "NSB scaling wins outright: the same silicon spent on L2 loses perf/area"
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bigger_caches_do_not_hurt_latency() {
+        let fig = run_subset(Scale::Tiny, 4, &[4, 16], &[64, 256]);
+        assert_eq!(fig.cells.len(), 4);
+        let small = fig.cell(4, 64).expect("cell").cycles;
+        let big = fig.cell(16, 256).expect("cell").cycles;
+        assert!(big <= small, "bigger caches {big} vs {small}");
+    }
+
+    #[test]
+    fn nsb_growth_beats_area_penalty_at_large_l2() {
+        // The paper's Fig. 9 claim in shape: at a 256 KB L2, quadrupling
+        // the (tiny) NSB raises perf/area.
+        let fig = run_subset(Scale::Tiny, 4, &[4, 16], &[256]);
+        let small = fig.cell(4, 256).expect("cell").perf;
+        let big = fig.cell(16, 256).expect("cell").perf;
+        assert!(big > small, "NSB 16 KB {big} should beat 4 KB {small}");
+    }
+
+    #[test]
+    fn perf_metric_penalises_area() {
+        let fig = run_subset(Scale::Tiny, 4, &[4], &[64, 1024]);
+        let small = fig.cell(4, 64).expect("cell");
+        let big = fig.cell(4, 1024).expect("cell");
+        // Unless the big L2 is dramatically faster, its perf/area is lower.
+        if big.cycles * 4 > small.cycles {
+            assert!(small.perf > big.perf);
+        }
+    }
+}

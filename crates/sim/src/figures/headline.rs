@@ -1,0 +1,141 @@
+//! Headline claims — the abstract's numbers, recomputed.
+//!
+//! * ~90% cache-miss reduction vs SOTA general-purpose prefetching;
+//! * ~4x average speedup on sparse workloads vs no prefetching;
+//! * ~75% off-chip memory access reduction during NPU execution.
+
+use std::fmt;
+
+use nvr_common::DataWidth;
+use nvr_mem::MemoryConfig;
+use nvr_workloads::{Scale, WorkloadId, WorkloadSpec};
+
+use crate::metrics::geometric_mean;
+use crate::runner::{run_system, SystemKind};
+
+/// Recomputed headline aggregates.
+#[derive(Debug, Clone, Default)]
+pub struct Headline {
+    /// Geometric-mean speedup of NVR over InO (no prefetch).
+    pub speedup_vs_no_prefetch: f64,
+    /// Mean reduction of L2 demand misses vs the best GPP prefetcher
+    /// (stream/IMP), in `[0, 1]`.
+    pub miss_reduction_vs_gpp: f64,
+    /// Mean reduction of off-chip demand lines vs InO, in `[0, 1]`.
+    pub offchip_reduction: f64,
+    /// Per-workload speedups, for inspection.
+    pub speedups: Vec<(&'static str, f64)>,
+}
+
+/// Recomputes the claims over a workload set.
+#[must_use]
+pub fn run_with_workloads(scale: Scale, seed: u64, workloads: &[WorkloadId]) -> Headline {
+    let mem_cfg = MemoryConfig::default();
+    let mut speedups = Vec::new();
+    let mut miss_reductions = Vec::new();
+    let mut offchip_reductions = Vec::new();
+    for &w in workloads {
+        let spec = WorkloadSpec {
+            width: DataWidth::Fp16,
+            seed,
+            scale,
+        };
+        let program = w.build(&spec);
+        let ino = run_system(&program, &mem_cfg, SystemKind::InOrder);
+        let stream = run_system(&program, &mem_cfg, SystemKind::Stream);
+        let imp = run_system(&program, &mem_cfg, SystemKind::Imp);
+        let nvr = run_system(&program, &mem_cfg, SystemKind::Nvr);
+
+        speedups.push((
+            w.short(),
+            ino.result.total_cycles as f64 / nvr.result.total_cycles.max(1) as f64,
+        ));
+        let best_gpp = stream
+            .result
+            .mem
+            .l2
+            .demand_misses
+            .get()
+            .min(imp.result.mem.l2.demand_misses.get());
+        if best_gpp > 0 {
+            miss_reductions
+                .push(1.0 - nvr.result.mem.l2.demand_misses.get() as f64 / best_gpp as f64);
+        }
+        let ino_off = ino.result.mem.demand_offchip_lines();
+        if ino_off > 0 {
+            offchip_reductions
+                .push(1.0 - nvr.result.mem.demand_offchip_lines() as f64 / ino_off as f64);
+        }
+    }
+    let avg = |v: &[f64]| {
+        if v.is_empty() {
+            0.0
+        } else {
+            v.iter().sum::<f64>() / v.len() as f64
+        }
+    };
+    Headline {
+        speedup_vs_no_prefetch: geometric_mean(
+            &speedups.iter().map(|(_, s)| *s).collect::<Vec<_>>(),
+        ),
+        miss_reduction_vs_gpp: avg(&miss_reductions),
+        offchip_reduction: avg(&offchip_reductions),
+        speedups,
+    }
+}
+
+/// Recomputes the claims over all eight workloads.
+#[must_use]
+pub fn run(scale: Scale, seed: u64) -> Headline {
+    run_with_workloads(scale, seed, &WorkloadId::ALL)
+}
+
+impl fmt::Display for Headline {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Headline claims (paper -> measured)")?;
+        writeln!(
+            f,
+            "  speedup vs no prefetching: paper ~4x -> {:.2}x (geomean)",
+            self.speedup_vs_no_prefetch
+        )?;
+        writeln!(
+            f,
+            "  L2 miss reduction vs GPP prefetching: paper ~90% -> {:.0}%",
+            100.0 * self.miss_reduction_vs_gpp
+        )?;
+        writeln!(
+            f,
+            "  off-chip access reduction vs InO: paper ~75% -> {:.0}%",
+            100.0 * self.offchip_reduction
+        )?;
+        for (w, s) in &self.speedups {
+            writeln!(f, "    {w}: {s:.2}x")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn claims_hold_in_shape_on_subset() {
+        let h = run_with_workloads(Scale::Tiny, 9, &[WorkloadId::Ds, WorkloadId::Gcn]);
+        assert!(
+            h.speedup_vs_no_prefetch > 1.5,
+            "speedup {}",
+            h.speedup_vs_no_prefetch
+        );
+        assert!(
+            h.miss_reduction_vs_gpp > 0.3,
+            "miss reduction {}",
+            h.miss_reduction_vs_gpp
+        );
+        assert!(
+            h.offchip_reduction > 0.3,
+            "off-chip reduction {}",
+            h.offchip_reduction
+        );
+    }
+}

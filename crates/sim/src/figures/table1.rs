@@ -1,0 +1,75 @@
+//! Table I — NVR hardware storage overhead.
+
+use std::fmt;
+
+use nvr_core::{overhead_report, OverheadReport};
+
+use crate::report::Table;
+
+/// The Table I data: our component-sum model beside the paper's printed
+/// per-structure totals.
+#[derive(Debug, Clone, Copy)]
+pub struct Table1 {
+    /// Computed report at the configured width.
+    pub report: OverheadReport,
+}
+
+/// Computes the table at the paper's default width (N=16, 16 KB NSB).
+#[must_use]
+pub fn run() -> Table1 {
+    Table1 {
+        report: overhead_report(16, 16),
+    }
+}
+
+impl fmt::Display for Table1 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Table I — NVR storage overhead (N = {})", self.report.n)?;
+        let printed = OverheadReport::paper_printed_totals();
+        let ours = [
+            ("SD", self.report.sd_bits),
+            ("SCD", self.report.scd_bits),
+            ("LBD", self.report.lbd_bits),
+            ("VMIG", self.report.vmig_bits),
+            ("Snooper", self.report.snooper_bits),
+        ];
+        let mut t = Table::new(vec![
+            "structure".into(),
+            "bits (model)".into(),
+            "bits (paper)".into(),
+        ]);
+        for ((name, mine), (_, paper)) in ours.iter().zip(printed.iter()) {
+            t.row(vec![(*name).into(), mine.to_string(), paper.to_string()]);
+        }
+        writeln!(f, "{t}")?;
+        writeln!(
+            f,
+            "total: {} bits = {:.2} KiB (+ optional NSB {} KiB)",
+            self.report.total_bits(),
+            self.report.total_kib(),
+            self.report.nsb_bytes / 1024
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_paper_within_tolerance() {
+        let t = run();
+        let printed = OverheadReport::paper_printed_totals();
+        let ours = [
+            t.report.sd_bits,
+            t.report.scd_bits,
+            t.report.lbd_bits,
+            t.report.vmig_bits,
+            t.report.snooper_bits,
+        ];
+        for ((name, paper), mine) in printed.iter().zip(ours.iter()) {
+            let rel = (*mine as f64 - *paper as f64).abs() / *paper as f64;
+            assert!(rel < 0.05, "{name}: {mine} vs paper {paper}");
+        }
+    }
+}

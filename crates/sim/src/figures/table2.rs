@@ -1,0 +1,41 @@
+//! Table II — the sparse computation workload inventory.
+
+use std::fmt;
+
+use nvr_workloads::WorkloadId;
+
+use crate::report::Table;
+
+/// The Table II data (static inventory).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Table2;
+
+/// Produces the table.
+#[must_use]
+pub fn run() -> Table2 {
+    Table2
+}
+
+impl fmt::Display for Table2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Table II — sparse computation workloads")?;
+        let mut t = Table::new(vec!["workload".into(), "short".into(), "domain".into()]);
+        for w in WorkloadId::ALL {
+            t.row(vec![w.name().into(), w.short().into(), w.domain().into()]);
+        }
+        write!(f, "{t}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_all_eight() {
+        let out = run().to_string();
+        for w in WorkloadId::ALL {
+            assert!(out.contains(w.short()), "missing {}", w.short());
+        }
+    }
+}

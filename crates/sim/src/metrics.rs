@@ -1,0 +1,59 @@
+//! Derived comparison metrics.
+
+/// Prefetch coverage: the fraction of baseline misses a prefetcher
+/// eliminated (`1 - with/without`), clamped to `[0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(nvr_sim::coverage(100, 10), 0.9);
+/// assert_eq!(nvr_sim::coverage(0, 5), 0.0);
+/// ```
+#[must_use]
+pub fn coverage(baseline_misses: u64, with_prefetch_misses: u64) -> f64 {
+    if baseline_misses == 0 {
+        return 0.0;
+    }
+    (1.0 - with_prefetch_misses as f64 / baseline_misses as f64).clamp(0.0, 1.0)
+}
+
+/// Geometric mean of a slice of positive values (0 when empty).
+///
+/// Speedup ratios are averaged geometrically, as in the paper's "average
+/// 4x speedup" style claims.
+///
+/// # Examples
+///
+/// ```
+/// let g = nvr_sim::geometric_mean(&[1.0, 4.0]);
+/// assert!((g - 2.0).abs() < 1e-12);
+/// ```
+#[must_use]
+pub fn geometric_mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.max(f64::MIN_POSITIVE).ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coverage_bounds() {
+        assert_eq!(coverage(10, 0), 1.0);
+        assert_eq!(coverage(10, 10), 0.0);
+        // Pollution can raise misses; coverage clamps at zero.
+        assert_eq!(coverage(10, 15), 0.0);
+        assert!((coverage(200, 50) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geometric_mean_basics() {
+        assert_eq!(geometric_mean(&[]), 0.0);
+        assert!((geometric_mean(&[3.0]) - 3.0).abs() < 1e-12);
+        assert!((geometric_mean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,135 @@
+//! Minimal aligned-column text tables for paper-style output.
+
+use std::fmt;
+
+/// A fixed-schema text table.
+///
+/// # Examples
+///
+/// ```
+/// use nvr_sim::Table;
+///
+/// let mut t = Table::new(vec!["workload".into(), "latency".into()]);
+/// t.row(vec!["DS".into(), "1.00".into()]);
+/// let s = t.to_string();
+/// assert!(s.contains("workload"));
+/// assert!(s.contains("DS"));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    #[must_use]
+    pub fn new(headers: Vec<String>) -> Self {
+        Table {
+            headers,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row's length differs from the header count.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match headers"
+        );
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        widths
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let widths = self.widths();
+        let fmt_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        writeln!(f, "{}", fmt_row(&self.headers))?;
+        let total = widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1);
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            writeln!(f, "{}", fmt_row(row))?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a float with 3 significant digits, for table cells.
+#[must_use]
+pub fn fmt3(v: f64) -> String {
+    if v == 0.0 {
+        "0".into()
+    } else if v.abs() >= 100.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 10.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(vec!["a".into(), "bbbb".into()]);
+        t.row(vec!["xxxxx".into(), "1".into()]);
+        let out = t.to_string();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains('a') && lines[0].contains("bbbb"));
+        assert!(lines[2].contains("xxxxx"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn ragged_row_rejected() {
+        let mut t = Table::new(vec!["a".into()]);
+        t.row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn fmt3_ranges() {
+        assert_eq!(fmt3(0.0), "0");
+        assert_eq!(fmt3(0.1234), "0.12");
+        assert_eq!(fmt3(12.34), "12.3");
+        assert_eq!(fmt3(1234.0), "1234");
+    }
+}

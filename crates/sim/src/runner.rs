@@ -1,0 +1,188 @@
+//! Comparable single runs of one program under one system configuration.
+
+use nvr_common::Cycle;
+use nvr_core::{NvrConfig, NvrPrefetcher};
+use nvr_mem::{MemoryConfig, MemorySystem};
+use nvr_npu::{NpuConfig, NpuEngine, RunResult};
+use nvr_prefetch::{DvrPrefetcher, ImpPrefetcher, NullPrefetcher, Prefetcher, StreamPrefetcher};
+use nvr_trace::NpuProgram;
+
+/// The six compared systems of Fig. 5 (§V-A "Comparison").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SystemKind {
+    /// In-order Gemmini, no prefetching.
+    InOrder,
+    /// Ideal out-of-order Gemmini, no prefetching.
+    OutOfOrder,
+    /// In-order + adaptive stream prefetcher.
+    Stream,
+    /// In-order + Indirect Memory Prefetcher.
+    Imp,
+    /// In-order + Decoupled Vector Runahead.
+    Dvr,
+    /// In-order + NPU Vector Runahead (the paper's contribution).
+    Nvr,
+}
+
+impl SystemKind {
+    /// All systems in the paper's bar order.
+    pub const ALL: [SystemKind; 6] = [
+        SystemKind::InOrder,
+        SystemKind::OutOfOrder,
+        SystemKind::Stream,
+        SystemKind::Imp,
+        SystemKind::Dvr,
+        SystemKind::Nvr,
+    ];
+
+    /// The prefetcher-bearing systems of Fig. 6.
+    pub const PREFETCHERS: [SystemKind; 4] = [
+        SystemKind::Stream,
+        SystemKind::Imp,
+        SystemKind::Dvr,
+        SystemKind::Nvr,
+    ];
+
+    /// Display label matching the paper's legends.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            SystemKind::InOrder => "InO",
+            SystemKind::OutOfOrder => "OoO",
+            SystemKind::Stream => "Stream",
+            SystemKind::Imp => "IMP",
+            SystemKind::Dvr => "DVR",
+            SystemKind::Nvr => "NVR",
+        }
+    }
+
+    fn npu_config(self) -> NpuConfig {
+        match self {
+            SystemKind::OutOfOrder => NpuConfig::out_of_order(),
+            _ => NpuConfig::default(),
+        }
+    }
+
+    fn prefetcher(self, mem_cfg: &MemoryConfig) -> Box<dyn Prefetcher> {
+        match self {
+            SystemKind::InOrder | SystemKind::OutOfOrder => Box::new(NullPrefetcher::new()),
+            SystemKind::Stream => Box::new(StreamPrefetcher::default()),
+            SystemKind::Imp => Box::new(ImpPrefetcher::default()),
+            SystemKind::Dvr => Box::new(DvrPrefetcher::default()),
+            SystemKind::Nvr => {
+                let cfg = if mem_cfg.nsb.is_some() {
+                    NvrConfig::with_nsb()
+                } else {
+                    NvrConfig::default()
+                };
+                Box::new(NvrPrefetcher::new(cfg))
+            }
+        }
+    }
+}
+
+/// Result of one comparable run: the timed result plus the same program's
+/// ideal-memory base time (Fig. 5's lower bar segment).
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// Which system ran.
+    pub system: SystemKind,
+    /// Timed result against the real memory system.
+    pub result: RunResult,
+    /// Wall clock against an all-hit memory system.
+    pub base_cycles: Cycle,
+}
+
+impl RunOutcome {
+    /// Cycles attributable to cache-miss stalls.
+    #[must_use]
+    pub fn stall_cycles(&self) -> Cycle {
+        self.result.total_cycles.saturating_sub(self.base_cycles)
+    }
+
+    /// Total latency normalised to `denom` cycles.
+    #[must_use]
+    pub fn normalised_total(&self, denom: Cycle) -> f64 {
+        self.result.total_cycles as f64 / denom.max(1) as f64
+    }
+
+    /// Stall latency normalised to `denom` cycles.
+    #[must_use]
+    pub fn normalised_stall(&self, denom: Cycle) -> f64 {
+        self.stall_cycles() as f64 / denom.max(1) as f64
+    }
+}
+
+/// Runs `program` under `system` against `mem_cfg`, plus the paired
+/// ideal-memory run for the base/stall split.
+#[must_use]
+pub fn run_system(program: &NpuProgram, mem_cfg: &MemoryConfig, system: SystemKind) -> RunOutcome {
+    let engine = NpuEngine::new(system.npu_config());
+
+    let mut mem = MemorySystem::new(mem_cfg.clone());
+    let mut prefetcher = system.prefetcher(mem_cfg);
+    let result = engine.run(program, &mut mem, prefetcher.as_mut());
+
+    let mut ideal = MemorySystem::ideal(mem_cfg.clone());
+    let base = engine.run(program, &mut ideal, &mut NullPrefetcher::new());
+
+    RunOutcome {
+        system,
+        result,
+        base_cycles: base.total_cycles,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvr_common::DataWidth;
+    use nvr_workloads::{WorkloadId, WorkloadSpec};
+
+    fn program() -> NpuProgram {
+        WorkloadId::Ds.build(&WorkloadSpec::tiny(DataWidth::Int8, 2))
+    }
+
+    #[test]
+    fn base_never_exceeds_total() {
+        let p = program();
+        for system in SystemKind::ALL {
+            let o = run_system(&p, &MemoryConfig::default(), system);
+            assert!(
+                o.base_cycles <= o.result.total_cycles,
+                "{}: base {} > total {}",
+                system.label(),
+                o.base_cycles,
+                o.result.total_cycles
+            );
+        }
+    }
+
+    #[test]
+    fn nvr_is_fastest_system_on_ds() {
+        let p = program();
+        let cfg = MemoryConfig::default();
+        let totals: Vec<(SystemKind, u64)> = SystemKind::ALL
+            .iter()
+            .map(|&s| (s, run_system(&p, &cfg, s).result.total_cycles))
+            .collect();
+        let nvr = totals
+            .iter()
+            .find(|(s, _)| *s == SystemKind::Nvr)
+            .expect("nvr present")
+            .1;
+        for (s, t) in &totals {
+            assert!(
+                nvr <= *t,
+                "NVR {nvr} should not lose to {} {t}",
+                s.label()
+            );
+        }
+    }
+
+    #[test]
+    fn labels_match_paper() {
+        let labels: Vec<_> = SystemKind::ALL.iter().map(|s| s.label()).collect();
+        assert_eq!(labels, ["InO", "OoO", "Stream", "IMP", "DVR", "NVR"]);
+    }
+}

@@ -1,0 +1,164 @@
+//! Bitmap (bitmask) sparse format.
+//!
+//! The NVDLA-style format cited in the paper's related work ([Farshchi et
+//! al.]): a dense bitmask marks non-zero positions and a packed value array
+//! stores only the non-zeros. Decoding is a popcount-driven scan — cheap in
+//! hardware, and the access pattern the paper's skip strategies (Fig. 2,
+//! left) operate on.
+//!
+//! [Farshchi et al.]: https://arxiv.org/abs/1903.06495
+
+use crate::csr::CsrMatrix;
+
+/// A sparse matrix as a row-major bitmask plus packed non-zero values.
+///
+/// # Examples
+///
+/// ```
+/// use nvr_sparse::{BitmapMatrix, CsrMatrix};
+///
+/// let csr = CsrMatrix::from_triplets(2, 8, &[(0, 3, 1.5), (1, 7, 2.5)]);
+/// let bm = BitmapMatrix::from_csr(&csr);
+/// assert!(bm.is_set(0, 3));
+/// assert!(!bm.is_set(0, 4));
+/// assert_eq!(bm.to_csr().to_dense(), csr.to_dense());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct BitmapMatrix {
+    rows: usize,
+    cols: usize,
+    /// Row-major bitmask, one `u64` word per 64 columns per row.
+    words: Vec<u64>,
+    words_per_row: usize,
+    /// Non-zero values in row-major scan order.
+    values: Vec<f32>,
+}
+
+impl BitmapMatrix {
+    /// Converts a CSR matrix to bitmap form.
+    #[must_use]
+    pub fn from_csr(csr: &CsrMatrix) -> Self {
+        let rows = csr.rows();
+        let cols = csr.cols();
+        let words_per_row = cols.div_ceil(64);
+        let mut words = vec![0u64; rows * words_per_row];
+        let mut values = Vec::with_capacity(csr.nnz());
+        for r in 0..rows {
+            // CSR rows are sorted, so the packed value order matches the
+            // bit-scan order.
+            for (&c, &v) in csr.row(r).iter().zip(csr.row_values(r)) {
+                let c = c as usize;
+                words[r * words_per_row + c / 64] |= 1u64 << (c % 64);
+                values.push(v);
+            }
+        }
+        BitmapMatrix {
+            rows,
+            cols,
+            words,
+            words_per_row,
+            values,
+        }
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored non-zeros.
+    #[must_use]
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether position `(r, c)` holds a non-zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    #[must_use]
+    pub fn is_set(&self, r: usize, c: usize) -> bool {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of range");
+        self.words[r * self.words_per_row + c / 64] & (1u64 << (c % 64)) != 0
+    }
+
+    /// Size of the bitmask in bytes (the format's metadata overhead).
+    #[must_use]
+    pub fn mask_bytes(&self) -> usize {
+        self.words.len() * 8
+    }
+
+    /// Iterates `(row, col, value)` in row-major scan order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f32)> + '_ {
+        let mut vi = 0;
+        (0..self.rows).flat_map(move |r| {
+            let mut out = Vec::new();
+            for w in 0..self.words_per_row {
+                let mut word = self.words[r * self.words_per_row + w];
+                while word != 0 {
+                    let bit = word.trailing_zeros() as usize;
+                    out.push((r, w * 64 + bit, self.values[vi]));
+                    vi += 1;
+                    word &= word - 1;
+                }
+            }
+            out
+        })
+    }
+
+    /// Converts back to CSR form.
+    #[must_use]
+    pub fn to_csr(&self) -> CsrMatrix {
+        let triplets: Vec<(usize, usize, f32)> = self.iter().collect();
+        CsrMatrix::from_triplets(self.rows, self.cols, &triplets)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{random_csr, SparsityPattern};
+    use nvr_common::Pcg32;
+
+    #[test]
+    fn roundtrip_random_matrix() {
+        let mut rng = Pcg32::seed_from_u64(2);
+        let csr = random_csr(16, 100, 0.15, SparsityPattern::Uniform, &mut rng);
+        let bm = BitmapMatrix::from_csr(&csr);
+        assert_eq!(bm.nnz(), csr.nnz());
+        assert_eq!(bm.to_csr().to_dense(), csr.to_dense());
+    }
+
+    #[test]
+    fn mask_size_is_dense_bits() {
+        let csr = CsrMatrix::zeros(4, 130);
+        let bm = BitmapMatrix::from_csr(&csr);
+        // 130 columns -> 3 words per row.
+        assert_eq!(bm.mask_bytes(), 4 * 3 * 8);
+    }
+
+    #[test]
+    fn is_set_matches_structure() {
+        let csr = CsrMatrix::from_triplets(1, 70, &[(0, 0, 1.0), (0, 69, 2.0)]);
+        let bm = BitmapMatrix::from_csr(&csr);
+        assert!(bm.is_set(0, 0));
+        assert!(bm.is_set(0, 69));
+        assert!(!bm.is_set(0, 1));
+    }
+
+    #[test]
+    fn iter_row_major_order() {
+        let csr = CsrMatrix::from_triplets(2, 4, &[(1, 0, 3.0), (0, 2, 1.0)]);
+        let bm = BitmapMatrix::from_csr(&csr);
+        let items: Vec<_> = bm.iter().collect();
+        assert_eq!(items, vec![(0, 2, 1.0), (1, 0, 3.0)]);
+    }
+}

@@ -1,0 +1,181 @@
+//! Coordinate-format sparse matrices (construction intermediate).
+
+use crate::csr::CsrMatrix;
+
+/// A matrix stored as `(row, col, value)` triplets.
+///
+/// COO is the natural construction format: generators append triplets in
+/// any order, then convert once to CSR for traversal. Duplicates are summed
+/// during conversion.
+///
+/// # Examples
+///
+/// ```
+/// use nvr_sparse::CooMatrix;
+///
+/// let mut m = CooMatrix::new(2, 2);
+/// m.push(0, 1, 2.0);
+/// m.push(0, 1, 3.0);
+/// let csr = m.to_csr();
+/// assert_eq!(csr.nnz(), 1);
+/// assert_eq!(csr.row_values(0), &[5.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CooMatrix {
+    rows: usize,
+    cols: usize,
+    triplets: Vec<(u32, u32, f32)>,
+}
+
+impl CooMatrix {
+    /// An empty COO matrix of the given shape.
+    #[must_use]
+    pub fn new(rows: usize, cols: usize) -> Self {
+        CooMatrix {
+            rows,
+            cols,
+            triplets: Vec::new(),
+        }
+    }
+
+    /// Builds from a slice of `(row, col, value)` triplets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any coordinate is out of range.
+    #[must_use]
+    pub fn from_triplets(rows: usize, cols: usize, triplets: &[(usize, usize, f32)]) -> Self {
+        let mut m = CooMatrix::new(rows, cols);
+        for &(r, c, v) in triplets {
+            m.push(r, c, v);
+        }
+        m
+    }
+
+    /// Appends one entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= rows` or `col >= cols`.
+    pub fn push(&mut self, row: usize, col: usize, value: f32) {
+        assert!(row < self.rows, "row {row} out of range ({})", self.rows);
+        assert!(col < self.cols, "col {col} out of range ({})", self.cols);
+        self.triplets.push((row as u32, col as u32, value));
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored triplets (before duplicate merging).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.triplets.len()
+    }
+
+    /// Whether no triplets are stored.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.triplets.is_empty()
+    }
+
+    /// Converts to CSR, sorting row-major and summing duplicates.
+    #[must_use]
+    pub fn to_csr(&self) -> CsrMatrix {
+        let mut sorted = self.triplets.clone();
+        sorted.sort_unstable_by_key(|&(r, c, _)| (r, c));
+
+        let mut rowptr = vec![0u32; self.rows + 1];
+        let mut col_indices = Vec::with_capacity(sorted.len());
+        let mut values: Vec<f32> = Vec::with_capacity(sorted.len());
+        let mut prev: Option<(u32, u32)> = None;
+        for (r, c, v) in sorted {
+            if prev == Some((r, c)) {
+                *values.last_mut().expect("merge follows a push") += v;
+            } else {
+                col_indices.push(c);
+                values.push(v);
+                rowptr[r as usize + 1] += 1;
+                prev = Some((r, c));
+            }
+        }
+        for i in 0..self.rows {
+            rowptr[i + 1] += rowptr[i];
+        }
+        CsrMatrix::from_parts(self.rows, self.cols, rowptr, col_indices, values)
+    }
+}
+
+impl FromIterator<(usize, usize, f32)> for CooMatrix {
+    /// Collects triplets, inferring the shape as the maximum coordinates
+    /// plus one.
+    fn from_iter<I: IntoIterator<Item = (usize, usize, f32)>>(iter: I) -> Self {
+        let triplets: Vec<_> = iter.into_iter().collect();
+        let rows = triplets.iter().map(|t| t.0 + 1).max().unwrap_or(0);
+        let cols = triplets.iter().map(|t| t.1 + 1).max().unwrap_or(0);
+        CooMatrix::from_triplets(rows, cols, &triplets)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unordered_triplets_sort_into_csr() {
+        let m = CooMatrix::from_triplets(
+            3,
+            3,
+            &[(2, 0, 1.0), (0, 2, 2.0), (1, 1, 3.0), (0, 0, 4.0)],
+        );
+        let csr = m.to_csr();
+        assert_eq!(csr.row(0), &[0, 2]);
+        assert_eq!(csr.row(1), &[1]);
+        assert_eq!(csr.row(2), &[0]);
+    }
+
+    #[test]
+    fn duplicates_summed() {
+        let m = CooMatrix::from_triplets(1, 2, &[(0, 0, 1.0), (0, 0, 2.5), (0, 1, 1.0)]);
+        let csr = m.to_csr();
+        assert_eq!(csr.nnz(), 2);
+        assert_eq!(csr.row_values(0), &[3.5, 1.0]);
+    }
+
+    #[test]
+    fn duplicate_in_same_col_different_rows_not_merged() {
+        let m = CooMatrix::from_triplets(2, 1, &[(0, 0, 1.0), (1, 0, 2.0)]);
+        let csr = m.to_csr();
+        assert_eq!(csr.nnz(), 2);
+        assert_eq!(csr.row_values(0), &[1.0]);
+        assert_eq!(csr.row_values(1), &[2.0]);
+    }
+
+    #[test]
+    fn from_iterator_infers_shape() {
+        let m: CooMatrix = vec![(0usize, 5usize, 1.0f32), (3, 1, 2.0)].into_iter().collect();
+        assert_eq!((m.rows(), m.cols()), (4, 6));
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let m = CooMatrix::new(2, 2);
+        assert!(m.is_empty());
+        assert_eq!(m.to_csr().nnz(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn push_out_of_range_panics() {
+        CooMatrix::new(1, 1).push(1, 0, 1.0);
+    }
+}

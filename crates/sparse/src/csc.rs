@@ -1,0 +1,226 @@
+//! Compressed sparse column matrices.
+//!
+//! Used for the two-sides-sparsity kernel of Fig. 2, where both the weight
+//! matrix (CSR) and the input activation (CSC) are compressed and the
+//! intersection of their index lists drives the computation.
+
+use crate::csr::CsrMatrix;
+
+/// A CSC matrix with `f32` values.
+///
+/// # Examples
+///
+/// ```
+/// use nvr_sparse::{CscMatrix, CsrMatrix};
+///
+/// let csr = CsrMatrix::from_triplets(2, 2, &[(0, 1, 5.0)]);
+/// let csc = csr.to_csc();
+/// assert_eq!(csc.col(1), &[0]);
+/// assert_eq!(csc.nnz(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CscMatrix {
+    rows: usize,
+    cols: usize,
+    colptr: Vec<u32>,
+    row_indices: Vec<u32>,
+    values: Vec<f32>,
+}
+
+impl CscMatrix {
+    /// Builds a CSC matrix from raw parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parts are inconsistent (mirror of
+    /// [`CsrMatrix::from_parts`]).
+    #[must_use]
+    pub fn from_parts(
+        rows: usize,
+        cols: usize,
+        colptr: Vec<u32>,
+        row_indices: Vec<u32>,
+        values: Vec<f32>,
+    ) -> Self {
+        assert_eq!(colptr.len(), cols + 1, "colptr length mismatch");
+        assert_eq!(
+            row_indices.len(),
+            values.len(),
+            "indices/values length mismatch"
+        );
+        assert_eq!(
+            *colptr.last().expect("colptr non-empty") as usize,
+            row_indices.len(),
+            "colptr must end at nnz"
+        );
+        assert!(
+            colptr.windows(2).all(|w| w[0] <= w[1]),
+            "colptr must be non-decreasing"
+        );
+        assert!(
+            row_indices.iter().all(|&r| (r as usize) < rows),
+            "row index out of range"
+        );
+        CscMatrix {
+            rows,
+            cols,
+            colptr,
+            row_indices,
+            values,
+        }
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored entries.
+    #[must_use]
+    pub fn nnz(&self) -> usize {
+        self.row_indices.len()
+    }
+
+    /// The column-pointer array (`cols + 1` entries).
+    #[must_use]
+    pub fn colptr(&self) -> &[u32] {
+        &self.colptr
+    }
+
+    /// All row indices, column-major.
+    #[must_use]
+    pub fn row_indices(&self) -> &[u32] {
+        &self.row_indices
+    }
+
+    /// All values, column-major.
+    #[must_use]
+    pub fn values(&self) -> &[f32] {
+        &self.values
+    }
+
+    /// Row indices of column `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= cols`.
+    #[must_use]
+    pub fn col(&self, j: usize) -> &[u32] {
+        let (a, b) = self.col_range(j);
+        &self.row_indices[a..b]
+    }
+
+    /// Values of column `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= cols`.
+    #[must_use]
+    pub fn col_values(&self, j: usize) -> &[f32] {
+        let (a, b) = self.col_range(j);
+        &self.values[a..b]
+    }
+
+    /// Start/end offsets of column `j` in the index/value arrays.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= cols`.
+    #[must_use]
+    pub fn col_range(&self, j: usize) -> (usize, usize) {
+        assert!(j < self.cols, "col {j} out of range ({} cols)", self.cols);
+        (self.colptr[j] as usize, self.colptr[j + 1] as usize)
+    }
+
+    /// Converts back to CSR form.
+    #[must_use]
+    pub fn to_csr(&self) -> CsrMatrix {
+        let mut rowptr = vec![0u32; self.rows + 1];
+        for &r in &self.row_indices {
+            rowptr[r as usize + 1] += 1;
+        }
+        for i in 0..self.rows {
+            rowptr[i + 1] += rowptr[i];
+        }
+        let mut col_indices = vec![0u32; self.nnz()];
+        let mut values = vec![0.0f32; self.nnz()];
+        let mut next = rowptr.clone();
+        for c in 0..self.cols {
+            let (a, b) = self.col_range(c);
+            for j in a..b {
+                let r = self.row_indices[j] as usize;
+                let dst = next[r] as usize;
+                col_indices[dst] = c as u32;
+                values[dst] = self.values[j];
+                next[r] += 1;
+            }
+        }
+        CsrMatrix::from_parts(self.rows, self.cols, rowptr, col_indices, values)
+    }
+
+    /// Sparse–sparse row/column intersection size between a CSR row and a
+    /// CSC column: the number of index matches (`j == k` in Fig. 2's
+    /// two-sides listing). Both inputs must be sorted ascending, which CSR
+    /// and CSC construction guarantees.
+    #[must_use]
+    pub fn intersect_count(row_cols: &[u32], col_rows: &[u32]) -> usize {
+        let (mut i, mut j, mut n) = (0, 0, 0);
+        while i < row_cols.len() && j < col_rows.len() {
+            match row_cols[i].cmp(&col_rows[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    n += 1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_csr_csc_csr() {
+        let csr = CsrMatrix::from_triplets(
+            3,
+            4,
+            &[(0, 3, 1.0), (1, 0, 2.0), (1, 2, 3.0), (2, 2, 4.0)],
+        );
+        let back = csr.to_csc().to_csr();
+        assert_eq!(csr.to_dense(), back.to_dense());
+    }
+
+    #[test]
+    fn col_access() {
+        let csr = CsrMatrix::from_triplets(3, 3, &[(0, 1, 1.0), (2, 1, 5.0)]);
+        let csc = csr.to_csc();
+        assert_eq!(csc.col(1), &[0, 2]);
+        assert_eq!(csc.col_values(1), &[1.0, 5.0]);
+        assert_eq!(csc.col(0), &[] as &[u32]);
+    }
+
+    #[test]
+    #[should_panic(expected = "colptr length")]
+    fn bad_colptr_rejected() {
+        let _ = CscMatrix::from_parts(2, 2, vec![0, 0], vec![], vec![]);
+    }
+
+    #[test]
+    fn intersect_counts_matches() {
+        assert_eq!(CscMatrix::intersect_count(&[1, 3, 5], &[2, 3, 5, 9]), 2);
+        assert_eq!(CscMatrix::intersect_count(&[], &[1]), 0);
+        assert_eq!(CscMatrix::intersect_count(&[7], &[7]), 1);
+    }
+}

@@ -1,0 +1,338 @@
+//! Compressed sparse row matrices.
+//!
+//! The canonical format of the paper's SpMM kernels (Fig. 2): `rowptr`
+//! delimits each row's slice of `col_indices`/`values`, so the NPU's sparse
+//! unit walks `rowptr[i]..rowptr[i+1]` and gathers `IA[col_indices[j]]` —
+//! precisely the indirect chain NVR prefetches.
+
+use crate::csc::CscMatrix;
+use crate::dense::DenseMatrix;
+
+/// A CSR matrix with `f32` values.
+///
+/// # Examples
+///
+/// ```
+/// use nvr_sparse::CsrMatrix;
+///
+/// let m = CsrMatrix::from_triplets(2, 3, &[(0, 1, 2.0), (1, 0, 3.0)]);
+/// assert_eq!(m.nnz(), 2);
+/// assert_eq!(m.row(0), &[1]);
+/// assert_eq!(m.row_values(1), &[3.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    rowptr: Vec<u32>,
+    col_indices: Vec<u32>,
+    values: Vec<f32>,
+}
+
+impl CsrMatrix {
+    /// Builds a CSR matrix from raw parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parts are inconsistent: `rowptr` must have `rows + 1`
+    /// monotonically non-decreasing entries ending at `col_indices.len()`,
+    /// `col_indices` and `values` must have equal length, and every column
+    /// index must be `< cols`.
+    #[must_use]
+    pub fn from_parts(
+        rows: usize,
+        cols: usize,
+        rowptr: Vec<u32>,
+        col_indices: Vec<u32>,
+        values: Vec<f32>,
+    ) -> Self {
+        assert_eq!(rowptr.len(), rows + 1, "rowptr length mismatch");
+        assert_eq!(
+            col_indices.len(),
+            values.len(),
+            "indices/values length mismatch"
+        );
+        assert_eq!(
+            *rowptr.last().expect("rowptr non-empty") as usize,
+            col_indices.len(),
+            "rowptr must end at nnz"
+        );
+        assert!(
+            rowptr.windows(2).all(|w| w[0] <= w[1]),
+            "rowptr must be non-decreasing"
+        );
+        assert!(
+            col_indices.iter().all(|&c| (c as usize) < cols),
+            "column index out of range"
+        );
+        CsrMatrix {
+            rows,
+            cols,
+            rowptr,
+            col_indices,
+            values,
+        }
+    }
+
+    /// Builds from `(row, col, value)` triplets; duplicate positions are
+    /// summed. Triplets may be in any order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any triplet is out of range.
+    #[must_use]
+    pub fn from_triplets(rows: usize, cols: usize, triplets: &[(usize, usize, f32)]) -> Self {
+        crate::coo::CooMatrix::from_triplets(rows, cols, triplets).to_csr()
+    }
+
+    /// An all-zero matrix.
+    #[must_use]
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        CsrMatrix {
+            rows,
+            cols,
+            rowptr: vec![0; rows + 1],
+            col_indices: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored (non-zero) entries.
+    #[must_use]
+    pub fn nnz(&self) -> usize {
+        self.col_indices.len()
+    }
+
+    /// Fraction of cells stored: `nnz / (rows * cols)`; 0 for empty shapes.
+    #[must_use]
+    pub fn density(&self) -> f64 {
+        let cells = self.rows * self.cols;
+        if cells == 0 {
+            0.0
+        } else {
+            self.nnz() as f64 / cells as f64
+        }
+    }
+
+    /// The row-pointer array (`rows + 1` entries).
+    #[must_use]
+    pub fn rowptr(&self) -> &[u32] {
+        &self.rowptr
+    }
+
+    /// All column indices, row-major.
+    #[must_use]
+    pub fn col_indices(&self) -> &[u32] {
+        &self.col_indices
+    }
+
+    /// All values, row-major.
+    #[must_use]
+    pub fn values(&self) -> &[f32] {
+        &self.values
+    }
+
+    /// Column indices of row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= rows`.
+    #[must_use]
+    pub fn row(&self, i: usize) -> &[u32] {
+        let (a, b) = self.row_range(i);
+        &self.col_indices[a..b]
+    }
+
+    /// Values of row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= rows`.
+    #[must_use]
+    pub fn row_values(&self, i: usize) -> &[f32] {
+        let (a, b) = self.row_range(i);
+        &self.values[a..b]
+    }
+
+    /// Start/end offsets of row `i` in the index/value arrays.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= rows`.
+    #[must_use]
+    pub fn row_range(&self, i: usize) -> (usize, usize) {
+        assert!(i < self.rows, "row {i} out of range ({} rows)", self.rows);
+        (self.rowptr[i] as usize, self.rowptr[i + 1] as usize)
+    }
+
+    /// Number of non-zeros in row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= rows`.
+    #[must_use]
+    pub fn row_nnz(&self, i: usize) -> usize {
+        let (a, b) = self.row_range(i);
+        b - a
+    }
+
+    /// Sparse × dense multiply: `self (r×c) * rhs (c×k) -> dense (r×k)`.
+    ///
+    /// This is the one-side-sparsity kernel of Fig. 2; used in tests to
+    /// validate trace generators against ground-truth numerics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inner dimensions disagree.
+    #[must_use]
+    pub fn spmm(&self, rhs: &DenseMatrix) -> DenseMatrix {
+        assert_eq!(self.cols, rhs.rows(), "spmm dimension mismatch");
+        let mut out = DenseMatrix::zeros(self.rows, rhs.cols());
+        for i in 0..self.rows {
+            let (a, b) = self.row_range(i);
+            for j in a..b {
+                let col = self.col_indices[j] as usize;
+                let w = self.values[j];
+                for k in 0..rhs.cols() {
+                    *out.get_mut(i, k) += w * rhs.get(col, k);
+                }
+            }
+        }
+        out
+    }
+
+    /// Converts to CSC (column-major compressed) form.
+    #[must_use]
+    pub fn to_csc(&self) -> CscMatrix {
+        let mut colptr = vec![0u32; self.cols + 1];
+        for &c in &self.col_indices {
+            colptr[c as usize + 1] += 1;
+        }
+        for i in 0..self.cols {
+            colptr[i + 1] += colptr[i];
+        }
+        let mut row_indices = vec![0u32; self.nnz()];
+        let mut values = vec![0.0f32; self.nnz()];
+        let mut next = colptr.clone();
+        for r in 0..self.rows {
+            let (a, b) = self.row_range(r);
+            for j in a..b {
+                let c = self.col_indices[j] as usize;
+                let dst = next[c] as usize;
+                row_indices[dst] = r as u32;
+                values[dst] = self.values[j];
+                next[c] += 1;
+            }
+        }
+        CscMatrix::from_parts(self.rows, self.cols, colptr, row_indices, values)
+    }
+
+    /// Converts to a dense matrix (for tests and small examples).
+    #[must_use]
+    pub fn to_dense(&self) -> DenseMatrix {
+        let mut out = DenseMatrix::zeros(self.rows, self.cols);
+        for i in 0..self.rows {
+            let (a, b) = self.row_range(i);
+            for j in a..b {
+                *out.get_mut(i, self.col_indices[j] as usize) += self.values[j];
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CsrMatrix {
+        // [[0 1 0]
+        //  [2 0 3]]
+        CsrMatrix::from_parts(
+            2,
+            3,
+            vec![0, 1, 3],
+            vec![1, 0, 2],
+            vec![1.0, 2.0, 3.0],
+        )
+    }
+
+    #[test]
+    fn geometry_and_rows() {
+        let m = sample();
+        assert_eq!((m.rows(), m.cols(), m.nnz()), (2, 3, 3));
+        assert_eq!(m.row(0), &[1]);
+        assert_eq!(m.row(1), &[0, 2]);
+        assert_eq!(m.row_values(1), &[2.0, 3.0]);
+        assert_eq!(m.row_nnz(0), 1);
+        assert!((m.density() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zeros_has_no_entries() {
+        let z = CsrMatrix::zeros(4, 5);
+        assert_eq!(z.nnz(), 0);
+        assert_eq!(z.rowptr(), &[0, 0, 0, 0, 0]);
+        assert_eq!(z.density(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "rowptr length")]
+    fn bad_rowptr_len_rejected() {
+        let _ = CsrMatrix::from_parts(2, 2, vec![0, 0], vec![], vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn decreasing_rowptr_rejected() {
+        let _ = CsrMatrix::from_parts(2, 2, vec![0, 2, 1], vec![0], vec![1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "column index")]
+    fn out_of_range_col_rejected() {
+        let _ = CsrMatrix::from_parts(1, 2, vec![0, 1], vec![5], vec![1.0]);
+    }
+
+    #[test]
+    fn spmm_matches_dense() {
+        let m = sample();
+        let rhs = DenseMatrix::from_rows(&[
+            &[1.0, 0.0],
+            &[0.0, 1.0],
+            &[1.0, 1.0],
+        ]);
+        let out = m.spmm(&rhs);
+        // Row 0: 1*[0,1] = [0,1]; Row 1: 2*[1,0] + 3*[1,1] = [5,3]
+        assert_eq!(out.get(0, 0), 0.0);
+        assert_eq!(out.get(0, 1), 1.0);
+        assert_eq!(out.get(1, 0), 5.0);
+        assert_eq!(out.get(1, 1), 3.0);
+    }
+
+    #[test]
+    fn csc_roundtrip_preserves_dense() {
+        let m = sample();
+        let via_csc = m.to_csc().to_csr();
+        assert_eq!(m.to_dense(), via_csc.to_dense());
+    }
+
+    #[test]
+    fn triplets_sum_duplicates() {
+        let m = CsrMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (0, 0, 2.0), (1, 1, 4.0)]);
+        assert_eq!(m.nnz(), 2);
+        assert_eq!(m.to_dense().get(0, 0), 3.0);
+    }
+}

@@ -1,0 +1,253 @@
+//! Deterministic random sparse-matrix generators.
+//!
+//! Workload realism hinges on the *structure* of sparsity, not just its
+//! level: uniform pruning, block pruning (structured), banded locality and
+//! power-law (graph-like) column popularity all stress a prefetcher very
+//! differently. The paper's Fig. 5 workloads draw on all four.
+
+use nvr_common::Pcg32;
+
+use crate::csr::CsrMatrix;
+
+/// Structural family of generated sparsity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SparsityPattern {
+    /// Independently uniform non-zero placement (fine-grained pruning).
+    Uniform,
+    /// Non-zeros clustered into `block`-wide column runs (structured
+    /// pruning / Switch-Transformer-style block routing).
+    Block {
+        /// Width of each non-zero run, in columns.
+        block: usize,
+    },
+    /// Non-zeros confined to a diagonal band (locally connected layers).
+    Banded {
+        /// Half-width of the band around the diagonal.
+        half_width: usize,
+    },
+    /// Column popularity follows a Zipf law with the given exponent
+    /// (graph adjacency with hub nodes).
+    PowerLaw {
+        /// Zipf exponent; larger means more skew.
+        exponent: f64,
+    },
+}
+
+/// Generates a random CSR matrix of the requested shape and density.
+///
+/// The result is deterministic in `rng`. Duplicate placements collapse, so
+/// the realised density can fall slightly below the request at high
+/// densities; each row receives `round(density * cols)` distinct non-zeros
+/// where the pattern allows.
+///
+/// # Examples
+///
+/// ```
+/// use nvr_sparse::gen::{random_csr, SparsityPattern};
+/// use nvr_common::Pcg32;
+///
+/// let mut rng = Pcg32::seed_from_u64(7);
+/// let m = random_csr(32, 128, 0.05, SparsityPattern::Uniform, &mut rng);
+/// assert_eq!(m.rows(), 32);
+/// assert!(m.nnz() > 0);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `density` is outside `[0, 1]` or the shape is empty.
+#[must_use]
+pub fn random_csr(
+    rows: usize,
+    cols: usize,
+    density: f64,
+    pattern: SparsityPattern,
+    rng: &mut Pcg32,
+) -> CsrMatrix {
+    assert!(rows > 0 && cols > 0, "matrix shape must be non-empty");
+    assert!(
+        (0.0..=1.0).contains(&density),
+        "density {density} must be in [0, 1]"
+    );
+    let per_row = ((density * cols as f64).round() as usize).min(cols);
+
+    let mut rowptr = vec![0u32; rows + 1];
+    let mut col_indices: Vec<u32> = Vec::with_capacity(rows * per_row);
+    let mut values: Vec<f32> = Vec::with_capacity(rows * per_row);
+
+    for r in 0..rows {
+        let mut row_cols = place_row(r, rows, cols, per_row, pattern, rng);
+        row_cols.sort_unstable();
+        row_cols.dedup();
+        rowptr[r + 1] = rowptr[r] + row_cols.len() as u32;
+        for c in row_cols {
+            col_indices.push(c);
+            // Values in (0, 1]: non-zero by construction.
+            values.push(rng.gen_f64() as f32 * 0.999 + 0.001);
+        }
+    }
+    CsrMatrix::from_parts(rows, cols, rowptr, col_indices, values)
+}
+
+fn place_row(
+    r: usize,
+    rows: usize,
+    cols: usize,
+    per_row: usize,
+    pattern: SparsityPattern,
+    rng: &mut Pcg32,
+) -> Vec<u32> {
+    match pattern {
+        SparsityPattern::Uniform => rng
+            .sample_indices(cols, per_row)
+            .into_iter()
+            .map(|c| c as u32)
+            .collect(),
+        SparsityPattern::Block { block } => {
+            let block = block.max(1).min(cols);
+            let n_blocks = per_row.div_ceil(block);
+            let starts_avail = cols.div_ceil(block);
+            let chosen = rng.sample_indices(starts_avail, n_blocks.min(starts_avail));
+            let mut out = Vec::with_capacity(per_row);
+            'fill: for s in chosen {
+                for c in (s * block)..((s + 1) * block).min(cols) {
+                    out.push(c as u32);
+                    if out.len() == per_row {
+                        break 'fill;
+                    }
+                }
+            }
+            out
+        }
+        SparsityPattern::Banded { half_width } => {
+            // Centre the band on the row's diagonal position.
+            let centre = if rows <= 1 {
+                0
+            } else {
+                r * (cols - 1) / (rows - 1)
+            };
+            let lo = centre.saturating_sub(half_width);
+            let hi = (centre + half_width + 1).min(cols);
+            let span = hi - lo;
+            rng.sample_indices(span, per_row.min(span))
+                .into_iter()
+                .map(|c| (lo + c) as u32)
+                .collect()
+        }
+        SparsityPattern::PowerLaw { exponent } => {
+            let zipf = nvr_common::rng::Zipf::new(cols, exponent);
+            let mut out = Vec::with_capacity(per_row);
+            // Rejection keeps columns distinct while preserving skew.
+            let mut guard = 0;
+            while out.len() < per_row && guard < per_row * 64 {
+                let c = zipf.sample(rng) as u32;
+                if !out.contains(&c) {
+                    out.push(c);
+                }
+                guard += 1;
+            }
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_density_close_to_request() {
+        let mut rng = Pcg32::seed_from_u64(1);
+        let m = random_csr(100, 1000, 0.1, SparsityPattern::Uniform, &mut rng);
+        assert!((m.density() - 0.1).abs() < 0.01, "density {}", m.density());
+        // Every row exactly per_row distinct columns.
+        for r in 0..m.rows() {
+            assert_eq!(m.row_nnz(r), 100);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = Pcg32::seed_from_u64(9);
+        let mut b = Pcg32::seed_from_u64(9);
+        let ma = random_csr(20, 50, 0.2, SparsityPattern::Uniform, &mut a);
+        let mb = random_csr(20, 50, 0.2, SparsityPattern::Uniform, &mut b);
+        assert_eq!(ma, mb);
+    }
+
+    #[test]
+    fn rows_are_sorted_unique() {
+        let mut rng = Pcg32::seed_from_u64(3);
+        for pattern in [
+            SparsityPattern::Uniform,
+            SparsityPattern::Block { block: 8 },
+            SparsityPattern::Banded { half_width: 30 },
+            SparsityPattern::PowerLaw { exponent: 1.1 },
+        ] {
+            let m = random_csr(16, 256, 0.1, pattern, &mut rng);
+            for r in 0..m.rows() {
+                let row = m.row(r);
+                assert!(row.windows(2).all(|w| w[0] < w[1]), "{pattern:?} row {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn block_pattern_is_clustered() {
+        let mut rng = Pcg32::seed_from_u64(4);
+        let m = random_csr(8, 512, 0.125, SparsityPattern::Block { block: 16 }, &mut rng);
+        // Adjacency: most consecutive non-zero pairs within a row differ by 1.
+        let mut adjacent = 0usize;
+        let mut total = 0usize;
+        for r in 0..m.rows() {
+            for w in m.row(r).windows(2) {
+                total += 1;
+                if w[1] - w[0] == 1 {
+                    adjacent += 1;
+                }
+            }
+        }
+        assert!(
+            adjacent * 10 >= total * 8,
+            "block rows should be ≥80% adjacent pairs ({adjacent}/{total})"
+        );
+    }
+
+    #[test]
+    fn banded_pattern_stays_in_band() {
+        let mut rng = Pcg32::seed_from_u64(5);
+        let hw = 20;
+        let m = random_csr(64, 64, 0.1, SparsityPattern::Banded { half_width: hw }, &mut rng);
+        for r in 0..m.rows() {
+            for &c in m.row(r) {
+                let dist = (c as i64 - r as i64).unsigned_abs() as usize;
+                assert!(dist <= hw + 1, "row {r} col {c} outside band");
+            }
+        }
+    }
+
+    #[test]
+    fn power_law_has_hub_columns() {
+        let mut rng = Pcg32::seed_from_u64(6);
+        let m = random_csr(256, 1024, 0.02, SparsityPattern::PowerLaw { exponent: 1.2 }, &mut rng);
+        let mut counts = vec![0usize; m.cols()];
+        for r in 0..m.rows() {
+            for &c in m.row(r) {
+                counts[c as usize] += 1;
+            }
+        }
+        counts.sort_unstable_by(|a, b| b.cmp(a));
+        let top = counts[..10].iter().sum::<usize>();
+        let total: usize = counts.iter().sum();
+        assert!(
+            top * 4 > total,
+            "top-10 columns should draw >25% of nnz ({top}/{total})"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "density")]
+    fn bad_density_rejected() {
+        let mut rng = Pcg32::seed_from_u64(0);
+        let _ = random_csr(2, 2, 1.5, SparsityPattern::Uniform, &mut rng);
+    }
+}

@@ -1,0 +1,127 @@
+//! Top-k selection for sparse attention.
+//!
+//! Sparse attention (Double Sparsity, H2O) keeps only the k highest-scoring
+//! key vectors per query (§II-A "Data Shuffle"); the resulting index list is
+//! exactly the irregular gather stream NVR prefetches.
+
+/// Returns the indices of the `k` largest values, in **descending value
+/// order** (the order an attention kernel consumes them).
+///
+/// Ties break toward the lower index so the result is deterministic.
+///
+/// # Examples
+///
+/// ```
+/// use nvr_sparse::top_k_indices;
+///
+/// let scores = [0.1_f32, 0.9, 0.4, 0.9, 0.2];
+/// assert_eq!(top_k_indices(&scores, 3), vec![1, 3, 2]);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `k > scores.len()`.
+#[must_use]
+pub fn top_k_indices(scores: &[f32], k: usize) -> Vec<u32> {
+    assert!(
+        k <= scores.len(),
+        "k={k} exceeds population {}",
+        scores.len()
+    );
+    let mut idx: Vec<u32> = (0..scores.len() as u32).collect();
+    // Partial selection: O(n + k log k) instead of a full sort.
+    if k < scores.len() {
+        idx.select_nth_unstable_by(k, |&a, &b| {
+            scores[b as usize]
+                .partial_cmp(&scores[a as usize])
+                .expect("scores must not be NaN")
+                .then(a.cmp(&b))
+        });
+        idx.truncate(k);
+    }
+    idx.sort_unstable_by(|&a, &b| {
+        scores[b as usize]
+            .partial_cmp(&scores[a as usize])
+            .expect("scores must not be NaN")
+            .then(a.cmp(&b))
+    });
+    idx
+}
+
+/// Returns the indices of the `k` largest values, **sorted ascending** —
+/// the layout used when the selected set is stored as a CSR-like index list.
+///
+/// # Examples
+///
+/// ```
+/// use nvr_sparse::topk::top_k_indices_sorted;
+///
+/// let scores = [0.1_f32, 0.9, 0.4, 0.9, 0.2];
+/// assert_eq!(top_k_indices_sorted(&scores, 3), vec![1, 2, 3]);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `k > scores.len()`.
+#[must_use]
+pub fn top_k_indices_sorted(scores: &[f32], k: usize) -> Vec<u32> {
+    let mut idx = top_k_indices(scores, k);
+    idx.sort_unstable();
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvr_common::Pcg32;
+
+    #[test]
+    fn selects_largest() {
+        let scores = [3.0_f32, 1.0, 4.0, 1.5, 9.0, 2.6];
+        assert_eq!(top_k_indices(&scores, 2), vec![4, 2]);
+        assert_eq!(top_k_indices_sorted(&scores, 2), vec![2, 4]);
+    }
+
+    #[test]
+    fn k_equals_len_is_full_argsort() {
+        let scores = [1.0_f32, 3.0, 2.0];
+        assert_eq!(top_k_indices(&scores, 3), vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn k_zero_is_empty() {
+        assert!(top_k_indices(&[1.0, 2.0], 0).is_empty());
+    }
+
+    #[test]
+    fn ties_break_low_index_first() {
+        let scores = [5.0_f32, 5.0, 5.0, 1.0];
+        assert_eq!(top_k_indices(&scores, 2), vec![0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds population")]
+    fn oversized_k_panics() {
+        let _ = top_k_indices(&[1.0], 2);
+    }
+
+    #[test]
+    fn agrees_with_full_sort_on_random_input() {
+        let mut rng = Pcg32::seed_from_u64(21);
+        for _ in 0..20 {
+            let n = 50 + rng.gen_index(200);
+            let k = rng.gen_index(n + 1);
+            let scores: Vec<f32> = (0..n).map(|_| rng.gen_f64() as f32).collect();
+            let got = top_k_indices(&scores, k);
+            let mut want: Vec<u32> = (0..n as u32).collect();
+            want.sort_by(|&a, &b| {
+                scores[b as usize]
+                    .partial_cmp(&scores[a as usize])
+                    .expect("no NaN")
+                    .then(a.cmp(&b))
+            });
+            want.truncate(k);
+            assert_eq!(got, want);
+        }
+    }
+}

@@ -1,0 +1,212 @@
+//! The simulated memory image: real index data at real addresses.
+
+use std::collections::BTreeMap;
+
+use nvr_common::{Addr, Region};
+
+/// A sparse map of 32-bit words over the simulated address space.
+///
+/// Workload generators lay out their index structures (row pointers, column
+/// indices, top-k lists, hash buckets) as `u32` segments. Reads outside any
+/// segment return a deterministic pseudo-random "garbage" word derived from
+/// the address — which is exactly what a runahead prefetcher that overruns a
+/// loop boundary would consume, and what makes overrun prefetches
+/// mechanically inaccurate rather than inaccurate-by-fiat.
+///
+/// # Examples
+///
+/// ```
+/// use nvr_trace::MemoryImage;
+/// use nvr_common::Addr;
+///
+/// let mut img = MemoryImage::new();
+/// img.add_u32_segment(Addr::new(0x100), vec![7, 8, 9]);
+/// assert_eq!(img.read_u32(Addr::new(0x104)), 8);
+/// assert!(img.in_segment(Addr::new(0x108)));
+/// assert!(!img.in_segment(Addr::new(0x10c)));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MemoryImage {
+    /// Segment base address -> contents.
+    segments: BTreeMap<u64, Vec<u32>>,
+}
+
+impl MemoryImage {
+    /// An empty image.
+    #[must_use]
+    pub fn new() -> Self {
+        MemoryImage::default()
+    }
+
+    /// Installs a `u32` array at `base`. Addresses are byte addresses; the
+    /// segment occupies `4 * data.len()` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` is not 4-byte aligned or the segment would overlap
+    /// an existing one.
+    pub fn add_u32_segment(&mut self, base: Addr, data: Vec<u32>) {
+        assert!(base.raw() % 4 == 0, "segment base must be 4-byte aligned");
+        let bytes = data.len() as u64 * 4;
+        assert!(
+            !self.overlaps(Region::new(base, bytes)),
+            "segment at {base} overlaps an existing segment"
+        );
+        self.segments.insert(base.raw(), data);
+    }
+
+    /// Whether `region` intersects any existing segment.
+    #[must_use]
+    pub fn overlaps(&self, region: Region) -> bool {
+        if region.is_empty() {
+            return false;
+        }
+        // Candidate: the last segment starting at or before region end, plus
+        // any segment starting inside the region.
+        let end = region.end().raw();
+        self.segments
+            .range(..end)
+            .next_back()
+            .is_some_and(|(&base, data)| base + data.len() as u64 * 4 > region.start().raw())
+    }
+
+    /// Reads the `u32` at `addr`.
+    ///
+    /// In-segment reads return the stored word (unaligned reads snap down to
+    /// the containing word, as a hardware load of the enclosing word would).
+    /// Out-of-segment reads return a deterministic address-hash word.
+    #[must_use]
+    pub fn read_u32(&self, addr: Addr) -> u32 {
+        match self.lookup(addr) {
+            Some(word) => word,
+            None => Self::background(addr),
+        }
+    }
+
+    /// Reads the `u32` at `addr`, or `None` if no segment covers it.
+    #[must_use]
+    pub fn try_read_u32(&self, addr: Addr) -> Option<u32> {
+        self.lookup(addr)
+    }
+
+    /// Whether `addr` falls inside an installed segment.
+    #[must_use]
+    pub fn in_segment(&self, addr: Addr) -> bool {
+        self.lookup(addr).is_some()
+    }
+
+    /// Reads `n` consecutive `u32` values starting at `addr`.
+    #[must_use]
+    pub fn read_u32_slice(&self, addr: Addr, n: usize) -> Vec<u32> {
+        (0..n)
+            .map(|i| self.read_u32(addr.offset(i as u64 * 4)))
+            .collect()
+    }
+
+    /// Total bytes covered by installed segments.
+    #[must_use]
+    pub fn segment_bytes(&self) -> u64 {
+        self.segments.values().map(|d| d.len() as u64 * 4).sum()
+    }
+
+    fn lookup(&self, addr: Addr) -> Option<u32> {
+        let (&base, data) = self.segments.range(..=addr.raw()).next_back()?;
+        let off = addr.raw() - base;
+        data.get((off / 4) as usize).copied()
+    }
+
+    /// Deterministic pseudo-random word for out-of-segment reads
+    /// (splitmix64 finaliser over the word-aligned address).
+    #[must_use]
+    pub fn background(addr: Addr) -> u32 {
+        let mut h = addr.raw() >> 2;
+        h ^= h >> 30;
+        h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        h ^= h >> 27;
+        h = h.wrapping_mul(0x94d0_49bb_1331_11eb);
+        (h ^ (h >> 31)) as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn segment_read_exact() {
+        let mut img = MemoryImage::new();
+        img.add_u32_segment(Addr::new(0x1000), vec![10, 20, 30]);
+        assert_eq!(img.read_u32(Addr::new(0x1000)), 10);
+        assert_eq!(img.read_u32(Addr::new(0x1008)), 30);
+        assert_eq!(img.try_read_u32(Addr::new(0x100c)), None);
+    }
+
+    #[test]
+    fn unaligned_read_snaps_to_word() {
+        let mut img = MemoryImage::new();
+        img.add_u32_segment(Addr::new(0x1000), vec![10, 20]);
+        assert_eq!(img.read_u32(Addr::new(0x1001)), 10);
+        assert_eq!(img.read_u32(Addr::new(0x1007)), 20);
+    }
+
+    #[test]
+    fn background_is_deterministic() {
+        let a = MemoryImage::background(Addr::new(0x5000));
+        let b = MemoryImage::background(Addr::new(0x5000));
+        assert_eq!(a, b);
+        assert_ne!(a, MemoryImage::background(Addr::new(0x5004)));
+    }
+
+    #[test]
+    fn out_of_segment_reads_background() {
+        let img = MemoryImage::new();
+        assert_eq!(
+            img.read_u32(Addr::new(0x42)),
+            MemoryImage::background(Addr::new(0x42))
+        );
+    }
+
+    #[test]
+    fn multiple_segments_route_correctly() {
+        let mut img = MemoryImage::new();
+        img.add_u32_segment(Addr::new(0x1000), vec![1, 2]);
+        img.add_u32_segment(Addr::new(0x2000), vec![3]);
+        assert_eq!(img.read_u32(Addr::new(0x1004)), 2);
+        assert_eq!(img.read_u32(Addr::new(0x2000)), 3);
+        assert!(!img.in_segment(Addr::new(0x1800)));
+        assert_eq!(img.segment_bytes(), 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlaps")]
+    fn overlapping_segments_rejected() {
+        let mut img = MemoryImage::new();
+        img.add_u32_segment(Addr::new(0x1000), vec![1, 2, 3]);
+        img.add_u32_segment(Addr::new(0x1008), vec![9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "aligned")]
+    fn unaligned_base_rejected() {
+        let mut img = MemoryImage::new();
+        img.add_u32_segment(Addr::new(0x1002), vec![1]);
+    }
+
+    #[test]
+    fn read_slice_spans_boundary() {
+        let mut img = MemoryImage::new();
+        img.add_u32_segment(Addr::new(0x1000), vec![1, 2]);
+        let v = img.read_u32_slice(Addr::new(0x1000), 3);
+        assert_eq!(v[0], 1);
+        assert_eq!(v[1], 2);
+        assert_eq!(v[2], MemoryImage::background(Addr::new(0x1008)));
+    }
+
+    #[test]
+    fn adjacent_segments_do_not_overlap() {
+        let mut img = MemoryImage::new();
+        img.add_u32_segment(Addr::new(0x1000), vec![1, 2]);
+        img.add_u32_segment(Addr::new(0x1008), vec![3]); // exactly adjacent
+        assert_eq!(img.read_u32(Addr::new(0x1008)), 3);
+    }
+}

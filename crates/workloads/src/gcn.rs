@@ -1,0 +1,52 @@
+//! GCN: Graph Convolutional Networks (Kipf & Welling).
+//!
+//! Same aggregation skeleton as [`crate::gat`] but with wider feature rows
+//! (more lines per gathered row — heavier bandwidth per edge) and no
+//! per-edge attention arithmetic, making it even more IO-bound.
+
+use nvr_common::Pcg32;
+use nvr_trace::NpuProgram;
+
+use crate::gat::build_gnn;
+use crate::graph::Graph;
+use crate::spec::WorkloadSpec;
+
+/// Graph size (feature-table rows).
+const NODES: usize = 8192;
+/// Average out-degree.
+const AVG_DEGREE: f64 = 10.0;
+/// Feature dimension (wider than GAT).
+const FEAT_DIM: usize = 128;
+/// Tiles per tile factor.
+const TILES: usize = 48;
+
+/// Builds the GCN program.
+#[must_use]
+pub fn build(spec: &WorkloadSpec) -> NpuProgram {
+    let mut rng = Pcg32::seed_with_stream(spec.seed, 0x6C2);
+    let graph = Graph::rmat(NODES, AVG_DEGREE, &mut rng);
+    build_gnn(spec, &graph, FEAT_DIM, 1, "GCN", TILES)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvr_common::DataWidth;
+
+    #[test]
+    fn wider_rows_than_gat() {
+        let spec = WorkloadSpec::tiny(DataWidth::Fp16, 7);
+        let gcn = build(&spec);
+        let gat = crate::gat::build(&spec);
+        let row = |p: &NpuProgram| p.tiles[0].gather.expect("gather").func.row_bytes();
+        assert_eq!(row(&gcn), 2 * row(&gat));
+    }
+
+    #[test]
+    fn io_bound_profile() {
+        let p = build(&WorkloadSpec::tiny(DataWidth::Int8, 8));
+        let s = p.stats();
+        // Compute per gathered element is small: < 16 cycles/element.
+        assert!(s.compute_cycles < 16 * s.gather_elems);
+    }
+}

@@ -1,0 +1,132 @@
+//! GSABT: Graph Sparse Attention with block structure (Zhang et al.).
+//!
+//! Block-sparse attention mixes *local* block windows (sequential token
+//! runs — the cache-friendly part a stream prefetcher can catch) with
+//! *random global* blocks (the irregular part it cannot). Each block's
+//! tokens are contiguous, so misses arrive in short bursts with long random
+//! strides between bursts — the "densely packed, long-stride" behaviour of
+//! §II-A's data-shuffle discussion.
+
+use nvr_common::Pcg32;
+use nvr_trace::{NpuProgram, SparseFunc};
+
+use crate::spec::{assemble, TileSketch, WorkloadSpec, IA_BASE};
+
+/// Sequence length in tokens.
+const SEQ_LEN: usize = 4096;
+/// Tokens per attention block.
+const BLOCK: usize = 32;
+/// Local window: preceding blocks attended by every query block.
+const LOCAL_BLOCKS: usize = 2;
+/// Random global blocks attended per query block.
+const GLOBAL_BLOCKS: usize = 4;
+/// Head dimension.
+const HEAD_DIM: usize = 64;
+/// Query blocks processed per tile factor.
+const TILES: usize = 32;
+
+/// Builds the GSABT program.
+#[must_use]
+pub fn build(spec: &WorkloadSpec) -> NpuProgram {
+    let mut rng = Pcg32::seed_with_stream(spec.seed, 0x65AB);
+    let sa = spec.systolic();
+    let row_bytes = HEAD_DIM as u64 * spec.width.bytes();
+    let n_blocks = SEQ_LEN / BLOCK;
+    let tiles = TILES * spec.scale.tile_factor();
+
+    let sketches = (0..tiles)
+        .map(|t| {
+            let q_block = t % n_blocks;
+            let mut blocks = Vec::new();
+            // Own block plus the local window behind it.
+            for b in q_block.saturating_sub(LOCAL_BLOCKS)..=q_block {
+                blocks.push(b);
+            }
+            // Random global blocks.
+            for _ in 0..GLOBAL_BLOCKS {
+                blocks.push(rng.gen_index(n_blocks));
+            }
+            blocks.sort_unstable();
+            blocks.dedup();
+            let mut indices = Vec::with_capacity(blocks.len() * BLOCK);
+            for b in blocks {
+                for tkn in (b * BLOCK)..((b + 1) * BLOCK) {
+                    indices.push(tkn as u32);
+                }
+            }
+            let k = indices.len();
+            TileSketch {
+                indices,
+                compute_cycles: sa.sparse_mac_cycles(k, HEAD_DIM),
+                dma_bytes: (BLOCK * HEAD_DIM) as u64 * spec.width.bytes(),
+                store_bytes: (BLOCK * HEAD_DIM) as u64 * spec.width.bytes(),
+            }
+        })
+        .collect();
+
+    assemble(
+        "GSABT",
+        spec,
+        sketches,
+        SparseFunc::Affine {
+            ia_base: IA_BASE,
+            row_bytes,
+        },
+        16,
+        vec![],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvr_common::DataWidth;
+
+    #[test]
+    fn indices_are_block_contiguous() {
+        let p = build(&WorkloadSpec::tiny(DataWidth::Int8, 9));
+        for t in &p.tiles {
+            let v = t.index_values(&p.image);
+            // Within each BLOCK-aligned run, tokens are consecutive.
+            let mut contiguous_pairs = 0usize;
+            for w in v.windows(2) {
+                if w[1] == w[0] + 1 {
+                    contiguous_pairs += 1;
+                }
+            }
+            assert!(
+                contiguous_pairs * 10 >= v.len() * 8,
+                "block structure should be >=80% contiguous pairs"
+            );
+        }
+    }
+
+    #[test]
+    fn includes_global_randomness() {
+        let p = build(&WorkloadSpec::tiny(DataWidth::Int8, 10));
+        // Across tiles, the union of touched blocks exceeds the local
+        // window alone.
+        let mut blocks = std::collections::BTreeSet::new();
+        for t in &p.tiles {
+            for v in t.index_values(&p.image) {
+                blocks.insert(v as usize / BLOCK);
+            }
+        }
+        assert!(
+            blocks.len() > TILES + LOCAL_BLOCKS,
+            "global blocks should widen the footprint ({})",
+            blocks.len()
+        );
+    }
+
+    #[test]
+    fn token_range_valid() {
+        let p = build(&WorkloadSpec::tiny(DataWidth::Int32, 11));
+        for t in &p.tiles {
+            assert!(t
+                .index_values(&p.image)
+                .iter()
+                .all(|&v| (v as usize) < SEQ_LEN));
+        }
+    }
+}

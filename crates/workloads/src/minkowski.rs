@@ -1,0 +1,185 @@
+//! MK: MinkowskiNet — sparse 3-D convolution over voxelised point clouds.
+//!
+//! The kernel map resolves each output voxel's 3³ neighbourhood through a
+//! voxel hash table (§II-A: "hash-table indexing and sampling operation in
+//! point cloud networks"). The gather chain is therefore **two-level**:
+//! bucket probe → feature row. Affine-pattern prefetchers cannot learn it;
+//! runahead executes it.
+
+use nvr_common::Pcg32;
+use nvr_sparse::{VoxelHashTable, VoxelKey};
+use nvr_trace::{NpuProgram, SparseFunc};
+
+use crate::spec::{assemble, TileSketch, WorkloadSpec, IA_BASE, TABLE_BASE};
+
+/// Occupied voxels (feature rows).
+const POINTS: usize = 8192;
+/// Voxel grid extent per axis.
+const EXTENT: u32 = 64;
+/// Hash-table buckets.
+const BUCKETS: usize = 32_768;
+/// Feature channels.
+const FEAT_DIM: usize = 32;
+/// Output voxels resolved per tile.
+const VOXELS_PER_TILE: usize = 8;
+/// Tiles per tile factor.
+const TILES: usize = 32;
+
+/// The 3x3x3 kernel offsets.
+fn kernel_offsets() -> Vec<(i32, i32, i32)> {
+    let mut out = Vec::with_capacity(27);
+    for dx in -1..=1 {
+        for dy in -1..=1 {
+            for dz in -1..=1 {
+                out.push((dx, dy, dz));
+            }
+        }
+    }
+    out
+}
+
+/// Exports the hash table's bucket array as the `u32` slot table the
+/// hardware probes (empty buckets read as 0).
+pub(crate) fn export_bucket_table(table: &VoxelHashTable, keys: &[VoxelKey]) -> Vec<u32> {
+    let mut out = vec![0u32; table.bucket_count()];
+    for &key in keys {
+        let bucket = *table.probe_path(key).last().expect("probe path non-empty");
+        out[bucket] = table.lookup(key).expect("inserted key resolves");
+    }
+    out
+}
+
+/// How output voxels are enumerated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum VoxelOrder {
+    /// Random sampling across the scene (scattered LiDAR-style scenes).
+    Random,
+    /// Coordinate-sorted traversal (submanifold convolution order), which
+    /// makes consecutive tiles share neighbourhoods.
+    Sorted,
+}
+
+/// Builds a point-cloud kernel-map program from pre-generated voxels.
+pub(crate) fn build_pointcloud(
+    name: &str,
+    spec: &WorkloadSpec,
+    table: &VoxelHashTable,
+    keys: &[VoxelKey],
+    feat_dim: usize,
+    tiles: usize,
+    order: VoxelOrder,
+    rng: &mut Pcg32,
+) -> NpuProgram {
+    let sa = spec.systolic();
+    let row_bytes = feat_dim as u64 * spec.width.bytes();
+    let offsets = kernel_offsets();
+    let bucket_table = export_bucket_table(table, keys);
+    let n_tiles = tiles * spec.scale.tile_factor();
+    let mut sorted_keys = keys.to_vec();
+    sorted_keys.sort_unstable();
+
+    let sketches = (0..n_tiles)
+        .enumerate()
+        .map(|(t, _)| {
+            let mut indices = Vec::new();
+            for v in 0..VOXELS_PER_TILE {
+                let centre = match order {
+                    VoxelOrder::Random => keys[rng.gen_index(keys.len())],
+                    VoxelOrder::Sorted => {
+                        sorted_keys[(t * VOXELS_PER_TILE + v) % sorted_keys.len()]
+                    }
+                };
+                for &(dx, dy, dz) in &offsets {
+                    let nb = centre.offset(dx, dy, dz);
+                    if table.lookup(nb).is_some() {
+                        let bucket = *table.probe_path(nb).last().expect("non-empty");
+                        indices.push(bucket as u32);
+                    }
+                }
+            }
+            if indices.is_empty() {
+                // Centre voxel always resolves to itself.
+                let centre = keys[0];
+                indices.push(*table.probe_path(centre).last().expect("non-empty") as u32);
+            }
+            let found = indices.len();
+            TileSketch {
+                indices,
+                compute_cycles: sa.sparse_mac_cycles(found, feat_dim),
+                dma_bytes: (VOXELS_PER_TILE * feat_dim) as u64 * spec.width.bytes(),
+                store_bytes: (VOXELS_PER_TILE * feat_dim) as u64 * spec.width.bytes(),
+            }
+        })
+        .collect();
+
+    assemble(
+        name,
+        spec,
+        sketches,
+        SparseFunc::TableLookup {
+            table_base: TABLE_BASE,
+            ia_base: IA_BASE,
+            row_bytes,
+        },
+        16,
+        vec![(TABLE_BASE, bucket_table)],
+    )
+}
+
+/// Builds the MK program (uniform voxel placement: sparse scenes).
+#[must_use]
+pub fn build(spec: &WorkloadSpec) -> NpuProgram {
+    let mut rng = Pcg32::seed_with_stream(spec.seed, 0x3141);
+    let (table, keys) = VoxelHashTable::random(POINTS, EXTENT, BUCKETS, &mut rng);
+    build_pointcloud(
+        "MK",
+        spec,
+        &table,
+        &keys,
+        FEAT_DIM,
+        TILES,
+        VoxelOrder::Random,
+        &mut rng,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvr_common::DataWidth;
+    use nvr_trace::SparseFunc as SF;
+
+    #[test]
+    fn chain_is_two_level() {
+        let p = build(&WorkloadSpec::tiny(DataWidth::Int8, 15));
+        let func = p.tiles[0].gather.expect("gather").func;
+        assert!(matches!(func, SF::TableLookup { .. }));
+    }
+
+    #[test]
+    fn bucket_indices_resolve_to_feature_rows() {
+        let p = build(&WorkloadSpec::tiny(DataWidth::Int8, 16));
+        for t in p.tiles.iter().take(4) {
+            for rg in t.resolved_gathers(&p.image) {
+                let probe = rg.probe.expect("two-level gathers probe");
+                // Probe addresses live inside the bucket table segment.
+                assert!(p.image.in_segment(probe), "probe {probe} outside table");
+                // Targets land within the feature table's slot range.
+                let off = rg.target.start().raw() - IA_BASE.raw();
+                let slot = off / rg.target.bytes().max(1);
+                assert!((slot as usize) < POINTS, "slot {slot} out of range");
+            }
+        }
+    }
+
+    #[test]
+    fn neighbourhood_yield_is_sparse() {
+        let p = build(&WorkloadSpec::tiny(DataWidth::Int8, 17));
+        let s = p.stats();
+        // With 8192 points in 64^3 = 262144 cells, occupancy is ~3%, so
+        // far fewer than 27 neighbours resolve per voxel.
+        let per_voxel = s.gather_elems as f64 / (s.tiles * VOXELS_PER_TILE) as f64;
+        assert!(per_voxel < 8.0, "found {per_voxel} neighbours per voxel");
+        assert!(per_voxel >= 1.0 / VOXELS_PER_TILE as f64);
+    }
+}

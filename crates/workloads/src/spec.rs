@@ -1,0 +1,206 @@
+//! Workload specification and the shared program assembler.
+
+use nvr_common::{Addr, DataWidth, Region};
+use nvr_npu::SystolicArray;
+use nvr_trace::{GatherDesc, MemoryImage, NpuProgram, SparseFunc, TileOp};
+
+/// Base address of the flattened index array every workload walks.
+pub const INDEX_BASE: Addr = Addr::new(0x1000_0000);
+/// Base address of intermediate lookup tables (voxel-hash buckets).
+pub const TABLE_BASE: Addr = Addr::new(0x2000_0000);
+/// Base address of the gathered structure (IA / KV cache / features).
+pub const IA_BASE: Addr = Addr::new(0x10_0000_0000);
+
+/// Problem size class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Scale {
+    /// Unit-test size: seconds of simulation across all prefetchers.
+    Tiny,
+    /// Evaluation size used by the figure harnesses.
+    #[default]
+    Default,
+}
+
+impl Scale {
+    /// Multiplier applied to tile counts.
+    #[must_use]
+    pub fn tile_factor(self) -> usize {
+        match self {
+            Scale::Tiny => 1,
+            Scale::Default => 4,
+        }
+    }
+}
+
+/// Parameters shared by all workload generators.
+///
+/// # Examples
+///
+/// ```
+/// use nvr_workloads::WorkloadSpec;
+/// use nvr_common::DataWidth;
+///
+/// let spec = WorkloadSpec::new(DataWidth::Fp16, 42);
+/// assert_eq!(spec.width, DataWidth::Fp16);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkloadSpec {
+    /// Operand width (Fig. 5 evaluates INT8/FP16/INT32).
+    pub width: DataWidth,
+    /// RNG seed; identical seeds give identical programs.
+    pub seed: u64,
+    /// Problem size class.
+    pub scale: Scale,
+}
+
+impl WorkloadSpec {
+    /// Evaluation-scale spec.
+    #[must_use]
+    pub fn new(width: DataWidth, seed: u64) -> Self {
+        WorkloadSpec {
+            width,
+            seed,
+            scale: Scale::Default,
+        }
+    }
+
+    /// Unit-test-scale spec.
+    #[must_use]
+    pub fn tiny(width: DataWidth, seed: u64) -> Self {
+        WorkloadSpec {
+            width,
+            seed,
+            scale: Scale::Tiny,
+        }
+    }
+
+    /// The systolic array the compute budgets assume.
+    #[must_use]
+    pub fn systolic(&self) -> SystolicArray {
+        SystolicArray::gemmini_default()
+    }
+}
+
+/// Ingredients of one tile handed to [`assemble`].
+#[derive(Debug, Clone)]
+pub struct TileSketch {
+    /// Gather indices this tile consumes (in execution order).
+    pub indices: Vec<u32>,
+    /// Systolic compute cycles once data is ready.
+    pub compute_cycles: u64,
+    /// Dense operand bytes DMA'd into the scratchpad.
+    pub dma_bytes: u64,
+    /// Output bytes streamed off chip.
+    pub store_bytes: u64,
+}
+
+/// Assembles tile sketches into a validated [`NpuProgram`].
+///
+/// The per-tile index lists are flattened into one contiguous index array
+/// at [`INDEX_BASE`] (the CSR `col_indices` layout the engine's snoopers
+/// assume); `extra_segments` installs auxiliary structures such as hash
+/// bucket tables.
+///
+/// # Panics
+///
+/// Panics if `sketches` is empty or the resulting program fails
+/// [`NpuProgram::assert_valid`].
+#[must_use]
+pub fn assemble(
+    name: &str,
+    spec: &WorkloadSpec,
+    sketches: Vec<TileSketch>,
+    func: SparseFunc,
+    batch: usize,
+    extra_segments: Vec<(Addr, Vec<u32>)>,
+) -> NpuProgram {
+    assert!(!sketches.is_empty(), "workload must produce tiles");
+    let mut image = MemoryImage::new();
+    let mut flat: Vec<u32> = Vec::new();
+    let mut tiles = Vec::with_capacity(sketches.len());
+    for (id, sk) in sketches.into_iter().enumerate() {
+        let start = INDEX_BASE.offset(flat.len() as u64 * 4);
+        let bytes = sk.indices.len() as u64 * 4;
+        flat.extend_from_slice(&sk.indices);
+        tiles.push(TileOp {
+            id,
+            index_region: Region::new(start, bytes),
+            gather: Some(GatherDesc { func, batch }),
+            dma_bytes: sk.dma_bytes,
+            compute_cycles: sk.compute_cycles,
+            store_bytes: sk.store_bytes,
+        });
+    }
+    image.add_u32_segment(INDEX_BASE, flat);
+    for (base, data) in extra_segments {
+        image.add_u32_segment(base, data);
+    }
+    let program = NpuProgram {
+        name: name.to_owned(),
+        width: spec.width,
+        tiles,
+        image,
+    };
+    program.assert_valid();
+    program
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assemble_flattens_indices() {
+        let spec = WorkloadSpec::tiny(DataWidth::Int8, 0);
+        let func = SparseFunc::Affine {
+            ia_base: IA_BASE,
+            row_bytes: 64,
+        };
+        let p = assemble(
+            "t",
+            &spec,
+            vec![
+                TileSketch {
+                    indices: vec![1, 2, 3],
+                    compute_cycles: 5,
+                    dma_bytes: 0,
+                    store_bytes: 0,
+                },
+                TileSketch {
+                    indices: vec![4, 5],
+                    compute_cycles: 5,
+                    dma_bytes: 0,
+                    store_bytes: 0,
+                },
+            ],
+            func,
+            16,
+            vec![],
+        );
+        assert_eq!(p.tiles.len(), 2);
+        assert_eq!(p.tiles[0].index_values(&p.image), vec![1, 2, 3]);
+        assert_eq!(p.tiles[1].index_values(&p.image), vec![4, 5]);
+        // Second tile's region follows the first contiguously.
+        assert_eq!(
+            p.tiles[1].index_region.start(),
+            p.tiles[0].index_region.end()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "must produce tiles")]
+    fn empty_sketches_rejected() {
+        let spec = WorkloadSpec::tiny(DataWidth::Int8, 0);
+        let func = SparseFunc::Affine {
+            ia_base: IA_BASE,
+            row_bytes: 64,
+        };
+        let _ = assemble("t", &spec, vec![], func, 16, vec![]);
+    }
+
+    #[test]
+    fn scale_factors() {
+        assert_eq!(Scale::Tiny.tile_factor(), 1);
+        assert_eq!(Scale::Default.tile_factor(), 4);
+    }
+}

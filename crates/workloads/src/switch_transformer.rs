@@ -1,0 +1,100 @@
+//! ST: Switch Transformer — mixture-of-experts routing (Fedus et al.).
+//!
+//! Each token batch routes to one expert and streams that expert's FFN
+//! weight rows — a *block-contiguous* gather. Popular experts recur
+//! (Zipf-distributed routing), so the paper observes ST as the outlier with
+//! "lower cache miss ratios due to its relatively fixed network
+//! architecture and block-like data distribution patterns" (§V-B). The
+//! dynamic loop boundaries of MoE routing (§II-A) appear as the per-tile
+//! jump to a different expert's row range.
+
+use nvr_common::rng::Zipf;
+use nvr_common::Pcg32;
+use nvr_trace::{NpuProgram, SparseFunc};
+
+use crate::spec::{assemble, TileSketch, WorkloadSpec, IA_BASE};
+
+/// Number of experts.
+const EXPERTS: usize = 32;
+/// Weight rows per expert.
+const ROWS_PER_EXPERT: usize = 128;
+/// Model dimension (row width in elements).
+const MODEL_DIM: usize = 64;
+/// Tokens per routed batch.
+const TOKENS_PER_TILE: usize = 16;
+/// Tiles per tile factor.
+const TILES: usize = 32;
+
+/// Builds the ST program.
+#[must_use]
+pub fn build(spec: &WorkloadSpec) -> NpuProgram {
+    let mut rng = Pcg32::seed_with_stream(spec.seed, 0x57);
+    let sa = spec.systolic();
+    let row_bytes = MODEL_DIM as u64 * spec.width.bytes();
+    let zipf = Zipf::new(EXPERTS, 1.0);
+    let tiles = TILES * spec.scale.tile_factor();
+
+    let sketches = (0..tiles)
+        .map(|_| {
+            let expert = zipf.sample(&mut rng);
+            let first = (expert * ROWS_PER_EXPERT) as u32;
+            // Block-contiguous: the expert's full row range, in order.
+            let indices: Vec<u32> = (first..first + ROWS_PER_EXPERT as u32).collect();
+            TileSketch {
+                indices,
+                compute_cycles: sa.gemm_cycles(TOKENS_PER_TILE, MODEL_DIM, MODEL_DIM),
+                dma_bytes: (TOKENS_PER_TILE * MODEL_DIM) as u64 * spec.width.bytes(),
+                store_bytes: (TOKENS_PER_TILE * MODEL_DIM) as u64 * spec.width.bytes(),
+            }
+        })
+        .collect();
+
+    assemble(
+        "ST",
+        spec,
+        sketches,
+        SparseFunc::Affine {
+            ia_base: IA_BASE,
+            row_bytes,
+        },
+        16,
+        vec![],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvr_common::DataWidth;
+
+    #[test]
+    fn tiles_are_contiguous_expert_blocks() {
+        let p = build(&WorkloadSpec::tiny(DataWidth::Int8, 20));
+        for t in &p.tiles {
+            let v = t.index_values(&p.image);
+            assert_eq!(v.len(), ROWS_PER_EXPERT);
+            assert!(v.windows(2).all(|w| w[1] == w[0] + 1), "not contiguous");
+            assert_eq!(v[0] as usize % ROWS_PER_EXPERT, 0, "not block-aligned");
+        }
+    }
+
+    #[test]
+    fn popular_experts_recur() {
+        let p = build(&WorkloadSpec::tiny(DataWidth::Int8, 21));
+        let mut counts = vec![0usize; EXPERTS];
+        for t in &p.tiles {
+            let e = t.index_values(&p.image)[0] as usize / ROWS_PER_EXPERT;
+            counts[e] += 1;
+        }
+        let max = counts.iter().max().copied().unwrap_or(0);
+        assert!(max >= 3, "routing should favour hot experts (max={max})");
+    }
+
+    #[test]
+    fn compute_heavier_than_gnn_per_element() {
+        let p = build(&WorkloadSpec::tiny(DataWidth::Int8, 22));
+        let s = p.stats();
+        // Dense FFN GEMM: compute per gathered row is substantial.
+        assert!(s.compute_cycles > s.gather_elems);
+    }
+}

@@ -1,0 +1,49 @@
+//! LLM decode throughput vs off-chip bandwidth (the paper's Fig. 8c).
+//!
+//! Measures the sparse KV-gather cycles of a decode step through the cache
+//! simulator at several bandwidth points, folds them into the roofline
+//! model, and prints baseline-vs-NVR curves.
+//!
+//! ```sh
+//! cargo run --release --example llm_decode
+//! ```
+
+use nvr::llm::{av_program, decode_throughput, qkt_program};
+use nvr::prelude::*;
+
+fn main() {
+    let cfg = LlmConfig::default();
+    println!(
+        "decoder: {} hidden, {} layers, {} heads, 1/{} KV sparsity, batch {}\n",
+        cfg.hidden, cfg.layers, cfg.heads, cfg.kv_keep_ratio, cfg.decode_batch
+    );
+    let l = 1024;
+    println!("sequence length {l}; tokens per mega-cycle:");
+    println!(
+        "{:>10} {:>12} {:>12} {:>8}",
+        "B (B/cyc)", "baseline", "with NVR", "gain"
+    );
+    for bytes_per_cycle in [4u64, 8, 16, 32, 64, 128] {
+        let mem_cfg = MemoryConfig::default().with_dram(DramConfig {
+            bytes_per_cycle,
+            ..DramConfig::default()
+        });
+        let mut tput = [0.0f64; 2];
+        for (i, system) in [SystemKind::InOrder, SystemKind::Nvr].into_iter().enumerate() {
+            let qkt = run_system(&qkt_program(&cfg, l, 1), &mem_cfg, system);
+            let av = run_system(&av_program(&cfg, l, 1), &mem_cfg, system);
+            let per_step = (qkt.result.total_cycles + av.result.total_cycles) as f64 / 48.0
+                * cfg.heads as f64
+                * cfg.layers as f64;
+            tput[i] = decode_throughput(&cfg, l, bytes_per_cycle, per_step).tokens_per_mcycle;
+        }
+        println!(
+            "{:>10} {:>12.2} {:>12.2} {:>7.0}%",
+            bytes_per_cycle,
+            tput[0],
+            tput[1],
+            100.0 * (tput[1] / tput[0] - 1.0)
+        );
+    }
+    println!("\ndecode is IO-bound: NVR's gather coverage translates into tokens/s.");
+}

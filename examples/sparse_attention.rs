@@ -1,0 +1,48 @@
+//! Sparse attention: the paper's motivating experiment (Fig. 1b).
+//!
+//! Sweeps the Double-Sparsity keep ratio and shows that, without
+//! prefetching, a 16x parameter reduction buys far less than 16x actual
+//! speedup — and that NVR recovers most of the lost headroom.
+//!
+//! ```sh
+//! cargo run --release --example sparse_attention
+//! ```
+
+use nvr::prelude::*;
+use nvr::workloads::double_sparsity;
+
+fn main() {
+    let mem_cfg = MemoryConfig::default();
+    println!("Double Sparsity keep-ratio sweep (FP16, in-order NPU vs NVR)\n");
+    println!(
+        "{:>10} {:>12} {:>12} {:>12} {:>12}",
+        "reduction", "InO cycles", "InO speedup", "NVR cycles", "NVR speedup"
+    );
+
+    let mut dense_ino = None;
+    let mut dense_nvr = None;
+    for ratio in [1usize, 2, 4, 8, 16] {
+        let spec = WorkloadSpec::new(DataWidth::Fp16, 7);
+        let program = double_sparsity::build_with_ratio(&spec, ratio);
+
+        let ino = run_system(&program, &mem_cfg, SystemKind::InOrder);
+        let nvr = run_system(&program, &mem_cfg, SystemKind::Nvr);
+        let d_ino = *dense_ino.get_or_insert(ino.result.total_cycles);
+        let d_nvr = *dense_nvr.get_or_insert(nvr.result.total_cycles);
+
+        println!(
+            "{:>9}x {:>12} {:>11.2}x {:>12} {:>11.2}x",
+            ratio,
+            ino.result.total_cycles,
+            d_ino as f64 / ino.result.total_cycles as f64,
+            nvr.result.total_cycles,
+            d_nvr as f64 / nvr.result.total_cycles as f64,
+        );
+    }
+    println!(
+        "\nthe InO speedup saturates well below the parameter reduction — the\n\
+         cache misses of the surviving irregular gathers eat the algorithmic\n\
+         gain (the paper's Fig. 1b); NVR's speedup tracks the reduction much\n\
+         more closely."
+    );
+}

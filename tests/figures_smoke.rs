@@ -1,0 +1,57 @@
+//! Smoke tests of the figure drivers at test scale: each produces data of
+//! the right shape and renders without panicking.
+
+use nvr::sim::figures;
+use nvr::workloads::{Scale, WorkloadId};
+
+#[test]
+fn fig1b_renders() {
+    let data = figures::fig1b::run(Scale::Tiny, 1);
+    assert_eq!(data.points.len(), 5);
+    let text = data.to_string();
+    assert!(text.contains("16x"));
+    assert!(text.contains("speedup"));
+}
+
+#[test]
+fn fig6_subset_renders() {
+    let data = figures::fig6::run_with_workloads(Scale::Tiny, 2, &[WorkloadId::H2o]);
+    assert_eq!(data.cells.len(), 4); // one workload x four prefetchers
+    assert_eq!(data.movement.len(), 3);
+    let text = data.to_string();
+    assert!(text.contains("accuracy"));
+    assert!(text.contains("NVR"));
+}
+
+#[test]
+fn fig9_subset_renders() {
+    let data = figures::fig9::run_subset(Scale::Tiny, 3, &[4, 16], &[64, 256]);
+    assert_eq!(data.cells.len(), 4);
+    let text = data.to_string();
+    assert!(text.contains("NSB"));
+}
+
+#[test]
+fn table1_matches_paper_fields() {
+    let data = figures::table1::run();
+    let text = data.to_string();
+    for name in ["SD", "SCD", "LBD", "VMIG", "Snooper"] {
+        assert!(text.contains(name), "missing {name}");
+    }
+    assert_eq!(data.report.sd_bits, 1808);
+}
+
+#[test]
+fn table2_lists_all_workloads() {
+    let text = figures::table2::run().to_string();
+    for w in WorkloadId::ALL {
+        assert!(text.contains(w.name()), "missing {}", w.name());
+    }
+}
+
+#[test]
+fn headline_subset_is_positive() {
+    let h = figures::headline::run_with_workloads(Scale::Tiny, 4, &[WorkloadId::Ds]);
+    assert!(h.speedup_vs_no_prefetch > 1.0);
+    assert!(h.to_string().contains("speedup"));
+}
