@@ -2,5 +2,8 @@
 use nvr_bench::{experiment_scale, EXPERIMENT_SEED};
 
 fn main() {
-    println!("{}", nvr_sim::figures::fig5::run(experiment_scale(), EXPERIMENT_SEED));
+    println!(
+        "{}",
+        nvr_sim::figures::fig5::run(experiment_scale(), EXPERIMENT_SEED)
+    );
 }

@@ -1,9 +1,9 @@
 //! Shared helpers for the experiment binaries and Criterion benches.
 //!
 //! Every table and figure of the paper has a binary here that regenerates
-//! it (`cargo run --release -p nvr-bench --bin fig5`, etc.) and a Criterion
-//! bench that times the regeneration. DESIGN.md maps experiment ids to
-//! these targets.
+//! it (`cargo run --release -p nvr_bench --bin fig5`, etc.) and a Criterion
+//! bench that times the regeneration. The root README.md maps experiment
+//! ids to these targets.
 
 use nvr_common::DataWidth;
 use nvr_mem::MemoryConfig;

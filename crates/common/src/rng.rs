@@ -233,7 +233,10 @@ mod tests {
         let mut a = Pcg32::seed_from_u64(1);
         let mut b = Pcg32::seed_from_u64(2);
         let same = (0..32).filter(|_| a.next_u32() == b.next_u32()).count();
-        assert!(same < 4, "streams should be decorrelated, {same} collisions");
+        assert!(
+            same < 4,
+            "streams should be decorrelated, {same} collisions"
+        );
     }
 
     #[test]

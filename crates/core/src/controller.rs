@@ -37,15 +37,9 @@ use crate::vmig::Vmig;
 #[derive(Debug, Clone)]
 enum Phase {
     /// Index lines prefetched; waiting until `ready` before reading values.
-    FetchIndex {
-        window: Window,
-        ready: Cycle,
-    },
+    FetchIndex { window: Window, ready: Cycle },
     /// Reading values / evaluating `sparse_func` group by group.
-    Resolve {
-        window: Window,
-        next_elem: u64,
-    },
+    Resolve { window: Window, next_elem: u64 },
     /// Two-level chains: waiting for probe fills of the current group.
     ProbeWait {
         window: Window,
@@ -163,14 +157,17 @@ impl NvrPrefetcher {
         // Depth bound: the line budget divided by the chain's row width
         // gives how many elements of coverage may be outstanding past the
         // NPU's consumption pointer.
-        let row_lines = self
-            .scd
-            .entry()
-            .map_or(1, |e| nvr_common::div_ceil(e.row_bytes, nvr_common::LINE_BYTES).max(1));
-        let max_ahead = (self.cfg.lookahead_lines as u64 / row_lines).max(self.cfg.vector_width as u64);
+        let row_lines = self.scd.entry().map_or(1, |e| {
+            nvr_common::div_ceil(e.row_bytes, nvr_common::LINE_BYTES).max(1)
+        });
+        let max_ahead =
+            (self.cfg.lookahead_lines as u64 / row_lines).max(self.cfg.vector_width as u64);
         if start >= snoop.elem_consumed + max_ahead {
             #[cfg(feature = "nvr-debug")]
-            eprintln!("NVR bound: start={} consumed={} max_ahead={}", start, snoop.elem_consumed, max_ahead);
+            eprintln!(
+                "NVR bound: start={} consumed={} max_ahead={}",
+                start, snoop.elem_consumed, max_ahead
+            );
             return false;
         }
         let mut end = start + len;
@@ -392,7 +389,8 @@ impl Prefetcher for NvrPrefetcher {
         // Snoop ingestion is free (hardware registers).
         self.lbd.set_total_tiles(snoop.total_tiles);
         if snoop.window_len() > 0 {
-            self.lbd.observe(snoop.tile, snoop.elem_start, snoop.elem_end);
+            self.lbd
+                .observe(snoop.tile, snoop.elem_start, snoop.elem_end);
         }
         if let Some(g) = snoop.gather {
             self.scd.observe_gather(&g);

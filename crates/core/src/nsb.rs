@@ -39,7 +39,7 @@ pub fn nsb_config(kib: u64) -> CacheConfig {
     let max_ways = size_bytes / nvr_common::LINE_BYTES;
     let mut ways = 16.min(max_ways);
     // Capacity must divide evenly into ways x line.
-    while ways > 1 && size_bytes % (nvr_common::LINE_BYTES * ways) != 0 {
+    while ways > 1 && !size_bytes.is_multiple_of(nvr_common::LINE_BYTES * ways) {
         ways -= 1;
     }
     CacheConfig {

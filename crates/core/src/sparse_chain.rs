@@ -120,12 +120,8 @@ impl SparseChainDetector {
     /// Predicts without updating the LPI.
     #[must_use]
     pub fn predict_target(&self, idx: u32) -> Option<Region> {
-        self.entry.map(|e| {
-            Region::new(
-                e.ss_start.offset(u64::from(idx) * e.row_bytes),
-                e.row_bytes,
-            )
-        })
+        self.entry
+            .map(|e| Region::new(e.ss_start.offset(u64::from(idx) * e.row_bytes), e.row_bytes))
     }
 }
 

@@ -94,7 +94,7 @@ impl LlmConfig {
         {
             return Err(NvrError::Config("LLM shape fields must be non-zero".into()));
         }
-        if self.hidden % self.heads != 0 {
+        if !self.hidden.is_multiple_of(self.heads) {
             return Err(NvrError::Config(format!(
                 "hidden {} not divisible by heads {}",
                 self.hidden, self.heads

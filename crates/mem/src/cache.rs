@@ -120,9 +120,7 @@ impl Cache {
         let set = self.set_index(line);
         let tag = self.tag(line);
         let hit_latency = self.cfg.hit_latency;
-        let way = self.sets[set]
-            .iter_mut()
-            .find(|w| w.valid && w.tag == tag);
+        let way = self.sets[set].iter_mut().find(|w| w.valid && w.tag == tag);
         match way {
             Some(w) => {
                 w.last_use = now;
@@ -205,12 +203,7 @@ impl Cache {
     /// cycle of the soonest-finishing outstanding fill.
     #[must_use]
     pub fn mshr_free_at(&self, now: Cycle) -> Cycle {
-        let pending: Vec<Cycle> = self
-            .inflight
-            .iter()
-            .copied()
-            .filter(|&c| c > now)
-            .collect();
+        let pending: Vec<Cycle> = self.inflight.iter().copied().filter(|&c| c > now).collect();
         if pending.len() < self.cfg.mshr_entries {
             now
         } else {

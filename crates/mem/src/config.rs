@@ -92,7 +92,7 @@ impl CacheConfig {
                 self.name
             )));
         }
-        if self.size_bytes % (LINE_BYTES * self.ways) != 0 {
+        if !self.size_bytes.is_multiple_of(LINE_BYTES * self.ways) {
             return Err(NvrError::Config(format!(
                 "{}: size {} is not a multiple of ways*line ({})",
                 self.name,

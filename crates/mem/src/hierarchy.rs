@@ -144,7 +144,8 @@ impl MemorySystem {
                 ProbeResult::Miss => {
                     // NSB lookup cost precedes the L2 access.
                     let t_l2 = now + self.cfg.nsb.as_ref().expect("nsb cfg").hit_latency;
-                    let (result, fill_done) = Self::l2_demand(&mut self.l2, &mut self.dram, line, t_l2);
+                    let (result, fill_done) =
+                        Self::l2_demand(&mut self.l2, &mut self.dram, line, t_l2);
                     // Fill the NSB alongside so subsequent touches hit near
                     // the NPU (demand fills allocate in both levels).
                     let nsb = self.nsb.as_mut().expect("nsb present");
@@ -161,7 +162,12 @@ impl MemorySystem {
     /// L2-level demand handling shared by both the NSB and no-NSB paths.
     /// Returns the access result and the cycle the line's data is available
     /// (for propagating fills upward).
-    fn l2_demand(l2: &mut Cache, dram: &mut Dram, line: LineAddr, now: Cycle) -> (AccessResult, Cycle) {
+    fn l2_demand(
+        l2: &mut Cache,
+        dram: &mut Dram,
+        line: LineAddr,
+        now: Cycle,
+    ) -> (AccessResult, Cycle) {
         match l2.probe(line, now, true) {
             ProbeResult::Hit { ready_at } => (
                 AccessResult {
@@ -504,10 +510,7 @@ mod tests {
         let ready = mem.demand_region(region, 0);
         // Eight lines pipeline through DRAM; completion is the last one.
         let dram = DramConfig::default();
-        assert_eq!(
-            ready,
-            dram.latency + 8 * dram.line_transfer_cycles()
-        );
+        assert_eq!(ready, dram.latency + 8 * dram.line_transfer_cycles());
     }
 
     #[test]

@@ -3,10 +3,11 @@
 use nvr_common::NvrError;
 
 /// Execution discipline of the NPU pipeline.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ExecMode {
     /// Serial load → compute → store per tile; any vector element miss
     /// stalls everything (the paper's baseline Gemmini behaviour, §II-B).
+    #[default]
     InOrder,
     /// Ideal out-of-order: loads for up to `rob_tiles` upcoming tiles issue
     /// while earlier tiles compute, overlapping memory with computation.
@@ -14,12 +15,6 @@ pub enum ExecMode {
         /// Tile-granular ROB window.
         rob_tiles: usize,
     },
-}
-
-impl Default for ExecMode {
-    fn default() -> Self {
-        ExecMode::InOrder
-    }
 }
 
 /// Configuration of the NPU timing model.

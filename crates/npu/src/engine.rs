@@ -3,7 +3,7 @@
 use nvr_common::{Addr, Cycle};
 use nvr_mem::{AccessOutcome, MemorySystem};
 use nvr_prefetch::Prefetcher;
-use nvr_trace::event::{PC_TABLE_PROBE};
+use nvr_trace::event::PC_TABLE_PROBE;
 use nvr_trace::{AccessEvent, EventKind, NpuProgram, SnoopState, TileOp};
 
 use crate::config::{ExecMode, NpuConfig};
@@ -267,7 +267,8 @@ impl NpuEngine {
         prefetcher: &mut dyn Prefetcher,
     ) -> RunResult {
         let mut counters = Counters::default();
-        let mut spad = nvr_mem::Scratchpad::new(self.cfg.scratchpad_bytes, self.cfg.dma_bytes_per_cycle);
+        let mut spad =
+            nvr_mem::Scratchpad::new(self.cfg.scratchpad_bytes, self.cfg.dma_bytes_per_cycle);
         let mut sparse_unit = SparseUnit::new(self.cfg.vector_width);
         let index_base = program
             .tiles
@@ -303,10 +304,16 @@ impl NpuEngine {
                     consumed += batch.len() as u64;
                     // The snooped progress pointer advances with each
                     // issued vector load.
-                    let snoop =
-                        Self::snoop_for(program, tile, index_base, consumed, true, true);
+                    let snoop = Self::snoop_for(program, tile, index_base, consumed, true, true);
                     let (issue, ready) = self.load_batch(
-                        tile, program, &snoop, mem, prefetcher, batch, t, &mut counters,
+                        tile,
+                        program,
+                        &snoop,
+                        mem,
+                        prefetcher,
+                        batch,
+                        t,
+                        &mut counters,
                     );
                     // The stall window is runahead opportunity.
                     prefetcher.advance(issue, ready, &snoop, &program.image, mem);
@@ -353,7 +360,8 @@ impl NpuEngine {
         rob_tiles: usize,
     ) -> RunResult {
         let mut counters = Counters::default();
-        let mut spad = nvr_mem::Scratchpad::new(self.cfg.scratchpad_bytes, self.cfg.dma_bytes_per_cycle);
+        let mut spad =
+            nvr_mem::Scratchpad::new(self.cfg.scratchpad_bytes, self.cfg.dma_bytes_per_cycle);
         let mut sparse_unit = SparseUnit::new(self.cfg.vector_width);
         let index_base = program
             .tiles
@@ -386,7 +394,13 @@ impl NpuEngine {
             };
 
             let index_ready = self.load_index(
-                tile, program, &snoop, mem, prefetcher, issue_base, &mut counters,
+                tile,
+                program,
+                &snoop,
+                mem,
+                prefetcher,
+                issue_base,
+                &mut counters,
             );
             prefetcher.advance(issue_base, index_ready, &snoop, &program.image, mem);
 
@@ -398,7 +412,14 @@ impl NpuEngine {
                 let resolved = tile.resolved_gathers(&program.image);
                 for batch in resolved.chunks(g.batch.max(1)) {
                     let (_elem_issue, ready) = self.load_batch(
-                        tile, program, &snoop, mem, prefetcher, batch, issue, &mut counters,
+                        tile,
+                        program,
+                        &snoop,
+                        mem,
+                        prefetcher,
+                        batch,
+                        issue,
+                        &mut counters,
                     );
                     data_ready = data_ready.max(ready);
                     issue += 1; // one vector load per cycle
@@ -439,7 +460,7 @@ mod tests {
         let n = tiles * per_tile;
         // Spread indices across a 4 Mi-row space with a deterministic hash.
         let indices: Vec<u32> = (0..n)
-            .map(|i| (MemoryImage::background(Addr::new(i as u64 * 4)) % (1 << 18)))
+            .map(|i| MemoryImage::background(Addr::new(i as u64 * 4)) % (1 << 18))
             .collect();
         image.add_u32_segment(index_base, indices);
         let func = SparseFunc::Affine {

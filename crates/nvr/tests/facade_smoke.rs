@@ -1,0 +1,58 @@
+//! Workspace-wiring smoke test: drives the same end-to-end flow as
+//! `examples/quickstart.rs` purely through the `nvr::prelude` facade
+//! re-exports, so a broken re-export or a mis-wired inter-crate
+//! dependency fails `cargo test` rather than only `cargo run --example`.
+
+use nvr::prelude::*;
+
+#[test]
+fn quickstart_flow_through_prelude() {
+    // Tiny spec keeps this under a second; same workload family and system
+    // sweep as the quickstart example.
+    let spec = WorkloadSpec::tiny(DataWidth::Fp16, 42);
+    let program = WorkloadId::Ds.build(&spec);
+    let stats = program.stats();
+    assert!(stats.tiles > 0, "workload generator produced no tiles");
+    assert!(stats.gather_elems > 0, "sparse workload has no gathers");
+
+    let mem_cfg = MemoryConfig::default();
+    let baseline = run_system(&program, &mem_cfg, SystemKind::InOrder);
+    assert!(baseline.result.total_cycles > 0);
+
+    for system in SystemKind::ALL {
+        let o = run_system(&program, &mem_cfg, system);
+        assert!(
+            o.result.total_cycles > 0,
+            "{} ran zero cycles",
+            system.label()
+        );
+        assert!(o.stall_cycles() <= o.result.total_cycles);
+        let miss = o.result.element_miss_rate();
+        assert!(
+            (0.0..=1.0).contains(&miss),
+            "{} miss rate {miss}",
+            system.label()
+        );
+        let acc = o.result.mem.prefetch_accuracy();
+        assert!(
+            (0.0..=1.0).contains(&acc),
+            "{} accuracy {acc}",
+            system.label()
+        );
+    }
+
+    // The headline claim of the quickstart: NVR beats the in-order baseline.
+    let nvr = run_system(&program, &mem_cfg, SystemKind::Nvr);
+    assert!(
+        nvr.result.total_cycles < baseline.result.total_cycles,
+        "NVR ({}) should beat the in-order baseline ({})",
+        nvr.result.total_cycles,
+        baseline.result.total_cycles
+    );
+
+    // Facade modules are reachable under their stable names.
+    let report = overhead_report(16, 16);
+    assert!(report.total_bits() > 0);
+    assert!(NvrConfig::default().validate().is_ok());
+    assert!(LlmConfig::default().validate().is_ok());
+}

@@ -90,7 +90,14 @@ impl Prefetcher for NullPrefetcher {
 
     fn observe(&mut self, _: &AccessEvent, _: &SnoopState, _: &MemoryImage, _: &mut MemorySystem) {}
 
-    fn advance(&mut self, _: Cycle, _: Cycle, _: &SnoopState, _: &MemoryImage, _: &mut MemorySystem) {
+    fn advance(
+        &mut self,
+        _: Cycle,
+        _: Cycle,
+        _: &SnoopState,
+        _: &MemoryImage,
+        _: &mut MemorySystem,
+    ) {
     }
 }
 

@@ -143,7 +143,11 @@ impl DvrPrefetcher {
                 ia_base, row_bytes, ..
             } = g.func
             {
-                Self::queue_target(&mut ep.queue, ia_base.offset(u64::from(slot) * row_bytes), row_bytes);
+                Self::queue_target(
+                    &mut ep.queue,
+                    ia_base.offset(u64::from(slot) * row_bytes),
+                    row_bytes,
+                );
             }
             ep.remaining = ep.remaining.saturating_sub(1);
             ep.next_elem = ep.next_elem.offset(self.index_stride);
@@ -165,7 +169,11 @@ impl DvrPrefetcher {
         };
         match g.func {
             SparseFunc::Affine { ia_base, row_bytes } => {
-                Self::queue_target(&mut ep.queue, ia_base.offset(u64::from(idx) * row_bytes), row_bytes);
+                Self::queue_target(
+                    &mut ep.queue,
+                    ia_base.offset(u64::from(idx) * row_bytes),
+                    row_bytes,
+                );
                 ep.remaining -= 1;
                 ep.next_elem = ep.next_elem.offset(self.index_stride);
             }

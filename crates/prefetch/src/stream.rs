@@ -191,7 +191,10 @@ mod tests {
             p.observe(&miss_at(100 + i), &s, &MemoryImage::new(), &mut mem);
         }
         let issued = mem.stats().l2.prefetch_issued.get();
-        assert!(issued >= 4, "confirmed stream should prefetch, got {issued}");
+        assert!(
+            issued >= 4,
+            "confirmed stream should prefetch, got {issued}"
+        );
     }
 
     #[test]
@@ -214,7 +217,12 @@ mod tests {
         let s = snoop();
         let mut rng = nvr_common::Pcg32::seed_from_u64(3);
         for _ in 0..50 {
-            p.observe(&miss_at(rng.gen_range(1 << 30)), &s, &MemoryImage::new(), &mut mem);
+            p.observe(
+                &miss_at(rng.gen_range(1 << 30)),
+                &s,
+                &MemoryImage::new(),
+                &mut mem,
+            );
         }
         // Sparse random lines almost never fall within a window of each
         // other, so (nearly) nothing is prefetched.

@@ -5,15 +5,25 @@ use nvr_workloads::{Scale, WorkloadId, WorkloadSpec};
 
 fn main() {
     let cfg = MemoryConfig::default();
-    println!("{:>6} {:>10} {:>10} {:>7} {:>6} {:>6} {:>9} {:>9} {:>9}",
-        "wl", "InO", "NVR", "speed", "cov", "acc", "issued", "useful", "misses");
+    println!(
+        "{:>6} {:>10} {:>10} {:>7} {:>6} {:>6} {:>9} {:>9} {:>9}",
+        "wl", "InO", "NVR", "speed", "cov", "acc", "issued", "useful", "misses"
+    );
     for w in WorkloadId::ALL {
-        let spec = WorkloadSpec { width: DataWidth::Fp16, seed: 9, scale: Scale::Tiny };
+        let spec = WorkloadSpec {
+            width: DataWidth::Fp16,
+            seed: 9,
+            scale: Scale::Tiny,
+        };
         let p = w.build(&spec);
         let ino = run_system(&p, &cfg, SystemKind::InOrder);
         let nvr = run_system(&p, &cfg, SystemKind::Nvr);
-        let cov = coverage(ino.result.mem.l2.demand_misses.get(), nvr.result.mem.l2.demand_misses.get());
-        println!("{:>6} {:>10} {:>10} {:>7.2} {:>6.2} {:>6.2} {:>9} {:>9} {:>9}",
+        let cov = coverage(
+            ino.result.mem.l2.demand_misses.get(),
+            nvr.result.mem.l2.demand_misses.get(),
+        );
+        println!(
+            "{:>6} {:>10} {:>10} {:>7.2} {:>6.2} {:>6.2} {:>9} {:>9} {:>9}",
             w.short(),
             ino.result.total_cycles,
             nvr.result.total_cycles,

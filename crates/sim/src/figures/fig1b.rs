@@ -74,7 +74,10 @@ pub fn run(scale: Scale, seed: u64) -> Fig1b {
 
 impl fmt::Display for Fig1b {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Fig. 1b — sparse KV-cache: parameter reduction vs actual speedup (InO NPU)")?;
+        writeln!(
+            f,
+            "Fig. 1b — sparse KV-cache: parameter reduction vs actual speedup (InO NPU)"
+        )?;
         let mut t = Table::new(vec![
             "reduction".into(),
             "cycles".into(),

@@ -128,7 +128,10 @@ impl fmt::Display for Fig5 {
             (DataWidth::Int32, true),
         ] {
             let suffix = if nsb { "+NSB" } else { "" };
-            writeln!(f, "Fig. 5 panel — {width}{suffix} (normalised to InO, lower is better)")?;
+            writeln!(
+                f,
+                "Fig. 5 panel — {width}{suffix} (normalised to InO, lower is better)"
+            )?;
             let mut t = Table::new(vec![
                 "workload".into(),
                 "system".into(),

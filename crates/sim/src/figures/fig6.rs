@@ -207,7 +207,10 @@ impl fmt::Display for Fig6 {
             )?;
         }
         writeln!(f)?;
-        writeln!(f, "Fig. 6c — off-chip demand traffic during actual loads (DS)")?;
+        writeln!(
+            f,
+            "Fig. 6c — off-chip demand traffic during actual loads (DS)"
+        )?;
         let mut t = Table::new(vec![
             "system".into(),
             "off-chip lines".into(),

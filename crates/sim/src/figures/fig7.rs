@@ -61,7 +61,13 @@ impl Fig7 {
     }
 }
 
-fn collect(label: &str, scale: Scale, seed: u64, mem_cfg: &MemoryConfig, system: SystemKind) -> Flows {
+fn collect(
+    label: &str,
+    scale: Scale,
+    seed: u64,
+    mem_cfg: &MemoryConfig,
+    system: SystemKind,
+) -> Flows {
     let mut fl = Flows {
         label: label.to_owned(),
         ..Flows::default()
@@ -76,8 +82,13 @@ fn collect(label: &str, scale: Scale, seed: u64, mem_cfg: &MemoryConfig, system:
         let o = run_system(&program, mem_cfg, system);
         let m = &o.result.mem;
         fl.npu_read_bytes += m.l2.demand_accesses() * LINE_BYTES
-            + m.nsb.as_ref().map_or(0, |n| n.demand_hits.get() * LINE_BYTES);
-        fl.nsb_served_bytes += m.nsb.as_ref().map_or(0, |n| n.demand_hits.get() * LINE_BYTES);
+            + m.nsb
+                .as_ref()
+                .map_or(0, |n| n.demand_hits.get() * LINE_BYTES);
+        fl.nsb_served_bytes += m
+            .nsb
+            .as_ref()
+            .map_or(0, |n| n.demand_hits.get() * LINE_BYTES);
         fl.offchip_demand_bytes += m.dram.demand_lines.get() * LINE_BYTES;
         fl.offchip_prefetch_bytes += m.dram.prefetch_lines.get() * LINE_BYTES;
         fl.offchip_stream_bytes += m.dram.dma_bytes.get() + m.dram.write_bytes.get();

@@ -10,7 +10,9 @@
 
 use std::fmt;
 
-use nvr_llm::{av_program, decode_throughput, prefill_throughput, qkt_program, qkv_program, LlmConfig};
+use nvr_llm::{
+    av_program, decode_throughput, prefill_throughput, qkt_program, qkv_program, LlmConfig,
+};
 use nvr_mem::{DramConfig, MemoryConfig};
 
 use crate::report::{fmt3, Table};
@@ -81,12 +83,22 @@ impl Fig8 {
 
 /// Measures the sparse-attention gather cycles of one decode step at one
 /// bandwidth, for baseline or NVR.
-fn sparse_step_cycles(cfg: &LlmConfig, l: usize, bytes_per_cycle: u64, nvr: bool, seed: u64) -> f64 {
+fn sparse_step_cycles(
+    cfg: &LlmConfig,
+    l: usize,
+    bytes_per_cycle: u64,
+    nvr: bool,
+    seed: u64,
+) -> f64 {
     let mem_cfg = MemoryConfig::default().with_dram(DramConfig {
         bytes_per_cycle,
         ..DramConfig::default()
     });
-    let system = if nvr { SystemKind::Nvr } else { SystemKind::InOrder };
+    let system = if nvr {
+        SystemKind::Nvr
+    } else {
+        SystemKind::InOrder
+    };
     let qkt = run_system(&qkt_program(cfg, l, seed), &mem_cfg, system);
     let av = run_system(&av_program(cfg, l, seed), &mem_cfg, system);
     // The programs simulate 48 decode steps of one head; scale to the
@@ -185,8 +197,10 @@ impl fmt::Display for Fig8 {
             ]);
         }
         writeln!(f, "{t}")?;
-        for (name, curves) in [("Fig. 8b — prefill", &self.prefill), ("Fig. 8c — decode", &self.decode)]
-        {
+        for (name, curves) in [
+            ("Fig. 8b — prefill", &self.prefill),
+            ("Fig. 8c — decode", &self.decode),
+        ] {
             writeln!(f, "{name} throughput vs bandwidth (tokens/Mcycle)")?;
             let mut t = Table::new(vec![
                 "l".into(),

@@ -112,7 +112,10 @@ pub fn run(scale: Scale, seed: u64) -> Fig9 {
 
 impl fmt::Display for Fig9 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Fig. 9 — perf = 1e9 / (latency x area); higher is better")?;
+        writeln!(
+            f,
+            "Fig. 9 — perf = 1e9 / (latency x area); higher is better"
+        )?;
         let l2s: Vec<u64> = {
             let mut v: Vec<u64> = self.cells.iter().map(|c| c.l2_kb).collect();
             v.sort_unstable();
@@ -146,7 +149,11 @@ impl fmt::Display for Fig9 {
                 fmt3(l2_gain),
             )?;
             if l2_gain > 0.0 {
-                writeln!(f, "NSB scaling delivers {}x the benefit", fmt3(nsb_gain / l2_gain))?;
+                writeln!(
+                    f,
+                    "NSB scaling delivers {}x the benefit",
+                    fmt3(nsb_gain / l2_gain)
+                )?;
             } else {
                 writeln!(
                     f,

@@ -172,11 +172,7 @@ mod tests {
             .expect("nvr present")
             .1;
         for (s, t) in &totals {
-            assert!(
-                nvr <= *t,
-                "NVR {nvr} should not lose to {} {t}",
-                s.label()
-            );
+            assert!(nvr <= *t, "NVR {nvr} should not lose to {} {t}", s.label());
         }
     }
 

@@ -86,7 +86,10 @@ impl BitmapMatrix {
     /// Panics if out of range.
     #[must_use]
     pub fn is_set(&self, r: usize, c: usize) -> bool {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of range");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of range"
+        );
         self.words[r * self.words_per_row + c / 64] & (1u64 << (c % 64)) != 0
     }
 

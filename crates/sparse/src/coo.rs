@@ -131,11 +131,8 @@ mod tests {
 
     #[test]
     fn unordered_triplets_sort_into_csr() {
-        let m = CooMatrix::from_triplets(
-            3,
-            3,
-            &[(2, 0, 1.0), (0, 2, 2.0), (1, 1, 3.0), (0, 0, 4.0)],
-        );
+        let m =
+            CooMatrix::from_triplets(3, 3, &[(2, 0, 1.0), (0, 2, 2.0), (1, 1, 3.0), (0, 0, 4.0)]);
         let csr = m.to_csr();
         assert_eq!(csr.row(0), &[0, 2]);
         assert_eq!(csr.row(1), &[1]);
@@ -161,7 +158,9 @@ mod tests {
 
     #[test]
     fn from_iterator_infers_shape() {
-        let m: CooMatrix = vec![(0usize, 5usize, 1.0f32), (3, 1, 2.0)].into_iter().collect();
+        let m: CooMatrix = vec![(0usize, 5usize, 1.0f32), (3, 1, 2.0)]
+            .into_iter()
+            .collect();
         assert_eq!((m.rows(), m.cols()), (4, 6));
         assert_eq!(m.len(), 2);
     }

@@ -193,11 +193,8 @@ mod tests {
 
     #[test]
     fn roundtrip_csr_csc_csr() {
-        let csr = CsrMatrix::from_triplets(
-            3,
-            4,
-            &[(0, 3, 1.0), (1, 0, 2.0), (1, 2, 3.0), (2, 2, 4.0)],
-        );
+        let csr =
+            CsrMatrix::from_triplets(3, 4, &[(0, 3, 1.0), (1, 0, 2.0), (1, 2, 3.0), (2, 2, 4.0)]);
         let back = csr.to_csc().to_csr();
         assert_eq!(csr.to_dense(), back.to_dense());
     }

@@ -260,13 +260,7 @@ mod tests {
     fn sample() -> CsrMatrix {
         // [[0 1 0]
         //  [2 0 3]]
-        CsrMatrix::from_parts(
-            2,
-            3,
-            vec![0, 1, 3],
-            vec![1, 0, 2],
-            vec![1.0, 2.0, 3.0],
-        )
+        CsrMatrix::from_parts(2, 3, vec![0, 1, 3], vec![1, 0, 2], vec![1.0, 2.0, 3.0])
     }
 
     #[test]
@@ -309,11 +303,7 @@ mod tests {
     #[test]
     fn spmm_matches_dense() {
         let m = sample();
-        let rhs = DenseMatrix::from_rows(&[
-            &[1.0, 0.0],
-            &[0.0, 1.0],
-            &[1.0, 1.0],
-        ]);
+        let rhs = DenseMatrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]]);
         let out = m.spmm(&rhs);
         // Row 0: 1*[0,1] = [0,1]; Row 1: 2*[1,0] + 3*[1,1] = [5,3]
         assert_eq!(out.get(0, 0), 0.0);

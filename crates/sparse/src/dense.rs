@@ -67,7 +67,10 @@ impl DenseMatrix {
     /// Panics if out of range.
     #[must_use]
     pub fn get(&self, r: usize, c: usize) -> f32 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of range");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of range"
+        );
         self.data[r * self.cols + c]
     }
 
@@ -77,7 +80,10 @@ impl DenseMatrix {
     ///
     /// Panics if out of range.
     pub fn get_mut(&mut self, r: usize, c: usize) -> &mut f32 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of range");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of range"
+        );
         &mut self.data[r * self.cols + c]
     }
 

@@ -194,7 +194,13 @@ mod tests {
     #[test]
     fn block_pattern_is_clustered() {
         let mut rng = Pcg32::seed_from_u64(4);
-        let m = random_csr(8, 512, 0.125, SparsityPattern::Block { block: 16 }, &mut rng);
+        let m = random_csr(
+            8,
+            512,
+            0.125,
+            SparsityPattern::Block { block: 16 },
+            &mut rng,
+        );
         // Adjacency: most consecutive non-zero pairs within a row differ by 1.
         let mut adjacent = 0usize;
         let mut total = 0usize;
@@ -216,7 +222,13 @@ mod tests {
     fn banded_pattern_stays_in_band() {
         let mut rng = Pcg32::seed_from_u64(5);
         let hw = 20;
-        let m = random_csr(64, 64, 0.1, SparsityPattern::Banded { half_width: hw }, &mut rng);
+        let m = random_csr(
+            64,
+            64,
+            0.1,
+            SparsityPattern::Banded { half_width: hw },
+            &mut rng,
+        );
         for r in 0..m.rows() {
             for &c in m.row(r) {
                 let dist = (c as i64 - r as i64).unsigned_abs() as usize;
@@ -228,7 +240,13 @@ mod tests {
     #[test]
     fn power_law_has_hub_columns() {
         let mut rng = Pcg32::seed_from_u64(6);
-        let m = random_csr(256, 1024, 0.02, SparsityPattern::PowerLaw { exponent: 1.2 }, &mut rng);
+        let m = random_csr(
+            256,
+            1024,
+            0.02,
+            SparsityPattern::PowerLaw { exponent: 1.2 },
+            &mut rng,
+        );
         let mut counts = vec![0usize; m.cols()];
         for r in 0..m.rows() {
             for &c in m.row(r) {

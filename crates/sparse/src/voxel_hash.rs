@@ -201,7 +201,12 @@ impl VoxelHashTable {
     ///
     /// Panics if `extent == 0`.
     #[must_use]
-    pub fn random(n_points: usize, extent: u32, capacity: usize, rng: &mut Pcg32) -> (Self, Vec<VoxelKey>) {
+    pub fn random(
+        n_points: usize,
+        extent: u32,
+        capacity: usize,
+        rng: &mut Pcg32,
+    ) -> (Self, Vec<VoxelKey>) {
         assert!(extent > 0, "extent must be non-zero");
         let mut table = VoxelHashTable::with_capacity(capacity.max(n_points * 2));
         let mut keys = Vec::with_capacity(n_points);
@@ -258,7 +263,10 @@ mod tests {
         let k = VoxelKey::new(4, 5, 6);
         t.insert(k, 1);
         let path = t.probe_path(k);
-        assert_eq!(*path.last().expect("non-empty"), (k.hash() & t.mask) as usize);
+        assert_eq!(
+            *path.last().expect("non-empty"),
+            (k.hash() & t.mask) as usize
+        );
         assert_eq!(path.len(), 1, "direct hit probes one bucket");
     }
 

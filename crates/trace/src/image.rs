@@ -46,7 +46,10 @@ impl MemoryImage {
     /// Panics if `base` is not 4-byte aligned or the segment would overlap
     /// an existing one.
     pub fn add_u32_segment(&mut self, base: Addr, data: Vec<u32>) {
-        assert!(base.raw() % 4 == 0, "segment base must be 4-byte aligned");
+        assert!(
+            base.raw().is_multiple_of(4),
+            "segment base must be 4-byte aligned"
+        );
         let bytes = data.len() as u64 * 4;
         assert!(
             !self.overlaps(Region::new(base, bytes)),

@@ -63,10 +63,7 @@ impl SparseFunc {
                 let probe = table_base.offset(u64::from(idx) * 4);
                 let slot = image.read_u32(probe);
                 ResolvedGather {
-                    target: Region::new(
-                        ia_base.offset(u64::from(slot) * row_bytes),
-                        row_bytes,
-                    ),
+                    target: Region::new(ia_base.offset(u64::from(slot) * row_bytes), row_bytes),
                     probe: Some(probe),
                 }
             }
@@ -233,7 +230,10 @@ impl NpuProgram {
             );
             if let Some(g) = &t.gather {
                 assert!(g.batch > 0, "tile {i} gather batch must be non-zero");
-                assert!(g.func.row_bytes() > 0, "tile {i} row_bytes must be non-zero");
+                assert!(
+                    g.func.row_bytes() > 0,
+                    "tile {i} row_bytes must be non-zero"
+                );
             }
         }
     }

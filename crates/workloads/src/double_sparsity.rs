@@ -74,8 +74,8 @@ pub fn build_with_ratio(spec: &WorkloadSpec, keep_ratio: usize) -> NpuProgram {
             TileSketch {
                 indices,
                 compute_cycles: compute,
-                dma_bytes: row_bytes,        // the query vector
-                store_bytes: row_bytes,      // the output vector
+                dma_bytes: row_bytes,   // the query vector
+                store_bytes: row_bytes, // the output vector
             }
         })
         .collect();
@@ -122,10 +122,7 @@ mod tests {
                 }
             }
         }
-        assert!(
-            hot * 2 > total,
-            "hot set should dominate ({hot}/{total})"
-        );
+        assert!(hot * 2 > total, "hot set should dominate ({hot}/{total})");
     }
 
     #[test]

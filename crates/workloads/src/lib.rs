@@ -176,13 +176,7 @@ mod tests {
     fn width_scales_row_bytes() {
         let narrow = WorkloadId::Ds.build(&WorkloadSpec::tiny(DataWidth::Int8, 1));
         let wide = WorkloadId::Ds.build(&WorkloadSpec::tiny(DataWidth::Int32, 1));
-        let row = |p: &NpuProgram| {
-            p.tiles[0]
-                .gather
-                .expect("DS gathers")
-                .func
-                .row_bytes()
-        };
+        let row = |p: &NpuProgram| p.tiles[0].gather.expect("DS gathers").func.row_bytes();
         assert_eq!(row(&wide), 4 * row(&narrow));
     }
 

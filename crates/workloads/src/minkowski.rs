@@ -60,6 +60,7 @@ pub(crate) enum VoxelOrder {
 }
 
 /// Builds a point-cloud kernel-map program from pre-generated voxels.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn build_pointcloud(
     name: &str,
     spec: &WorkloadSpec,

@@ -69,12 +69,7 @@ pub fn build(spec: &WorkloadSpec) -> NpuProgram {
 /// Value-array slots of `ia` column `col` whose inner index also appears in
 /// `w` row `row` — the `j == k` matches of Fig. 2's listing. Always returns
 /// at least one slot so every tile has a gather phase.
-fn matched_slots(
-    w: &nvr_sparse::CsrMatrix,
-    ia: &CscMatrix,
-    row: usize,
-    col: usize,
-) -> Vec<u32> {
+fn matched_slots(w: &nvr_sparse::CsrMatrix, ia: &CscMatrix, row: usize, col: usize) -> Vec<u32> {
     let w_cols = w.row(row);
     let (a, b) = ia.col_range(col);
     let ia_rows = ia.col(col);

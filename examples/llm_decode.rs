@@ -29,7 +29,10 @@ fn main() {
             ..DramConfig::default()
         });
         let mut tput = [0.0f64; 2];
-        for (i, system) in [SystemKind::InOrder, SystemKind::Nvr].into_iter().enumerate() {
+        for (i, system) in [SystemKind::InOrder, SystemKind::Nvr]
+            .into_iter()
+            .enumerate()
+        {
             let qkt = run_system(&qkt_program(&cfg, l, 1), &mem_cfg, system);
             let av = run_system(&av_program(&cfg, l, 1), &mem_cfg, system);
             let per_step = (qkt.result.total_cycles + av.result.total_cycles) as f64 / 48.0

@@ -21,11 +21,7 @@ fn main() {
         let spec = WorkloadSpec::new(DataWidth::Int8, 3);
         let program = workload.build(&spec);
         let baseline = run_system(&program, &mem_cfg, SystemKind::InOrder);
-        for system in [
-            SystemKind::InOrder,
-            SystemKind::Stream,
-            SystemKind::Nvr,
-        ] {
+        for system in [SystemKind::InOrder, SystemKind::Stream, SystemKind::Nvr] {
             let o = run_system(&program, &mem_cfg, system);
             println!(
                 "{:>6} {:>8} {:>12} {:>9.2}x {:>10.1}%",
