@@ -1,9 +1,10 @@
 //! Regenerates Fig. 1b (motivation: parameter reduction vs actual speedup).
-use nvr_bench::{experiment_scale, EXPERIMENT_SEED};
+//! `--jobs N` parallelises.
+use nvr_bench::{experiment_scale, jobs_from_args, EXPERIMENT_SEED};
 
 fn main() {
     println!(
         "{}",
-        nvr_sim::figures::fig1b::run(experiment_scale(), EXPERIMENT_SEED)
+        nvr_sim::figures::fig1b::run_jobs(experiment_scale(), EXPERIMENT_SEED, jobs_from_args())
     );
 }

@@ -1,9 +1,10 @@
-//! Regenerates Fig. 5 (normalised latency, four width panels).
-use nvr_bench::{experiment_scale, EXPERIMENT_SEED};
+//! Regenerates Fig. 5 (normalised latency, four width panels). `--jobs N`
+//! parallelises.
+use nvr_bench::{experiment_scale, jobs_from_args, EXPERIMENT_SEED};
 
 fn main() {
     println!(
         "{}",
-        nvr_sim::figures::fig5::run(experiment_scale(), EXPERIMENT_SEED)
+        nvr_sim::figures::fig5::run_jobs(experiment_scale(), EXPERIMENT_SEED, jobs_from_args())
     );
 }

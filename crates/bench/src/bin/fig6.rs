@@ -1,9 +1,10 @@
-//! Regenerates Fig. 6 (accuracy, coverage, data-movement optimisation).
-use nvr_bench::{experiment_scale, EXPERIMENT_SEED};
+//! Regenerates Fig. 6 (accuracy, coverage, pollution, data movement).
+//! `--jobs N` parallelises.
+use nvr_bench::{experiment_scale, jobs_from_args, EXPERIMENT_SEED};
 
 fn main() {
     println!(
         "{}",
-        nvr_sim::figures::fig6::run(experiment_scale(), EXPERIMENT_SEED)
+        nvr_sim::figures::fig6::run_jobs(experiment_scale(), EXPERIMENT_SEED, jobs_from_args())
     );
 }

@@ -1,9 +1,10 @@
-//! Regenerates Fig. 7 (bandwidth allocation with/without NSB).
-use nvr_bench::{experiment_scale, EXPERIMENT_SEED};
+//! Regenerates Fig. 7 (bandwidth allocation with/without NSB). `--jobs N`
+//! parallelises.
+use nvr_bench::{experiment_scale, jobs_from_args, EXPERIMENT_SEED};
 
 fn main() {
     println!(
         "{}",
-        nvr_sim::figures::fig7::run(experiment_scale(), EXPERIMENT_SEED)
+        nvr_sim::figures::fig7::run_jobs(experiment_scale(), EXPERIMENT_SEED, jobs_from_args())
     );
 }

@@ -1,6 +1,10 @@
-//! Regenerates Fig. 8 (LLM system-level evaluation).
-use nvr_bench::EXPERIMENT_SEED;
+//! Regenerates Fig. 8 (LLM system-level evaluation). `--jobs N`
+//! parallelises.
+use nvr_bench::{jobs_from_args, EXPERIMENT_SEED};
 
 fn main() {
-    println!("{}", nvr_sim::figures::fig8::run(EXPERIMENT_SEED, false));
+    println!(
+        "{}",
+        nvr_sim::figures::fig8::run_jobs(EXPERIMENT_SEED, false, jobs_from_args())
+    );
 }

@@ -1,9 +1,10 @@
-//! Regenerates Fig. 9 (NSB vs L2 sizing sensitivity).
-use nvr_bench::{experiment_scale, EXPERIMENT_SEED};
+//! Regenerates Fig. 9 (NSB vs L2 sizing + density sensitivity). `--jobs N`
+//! parallelises.
+use nvr_bench::{experiment_scale, jobs_from_args, EXPERIMENT_SEED};
 
 fn main() {
     println!(
         "{}",
-        nvr_sim::figures::fig9::run(experiment_scale(), EXPERIMENT_SEED)
+        nvr_sim::figures::fig9::run_jobs(experiment_scale(), EXPERIMENT_SEED, jobs_from_args())
     );
 }

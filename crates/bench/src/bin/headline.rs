@@ -1,9 +1,9 @@
-//! Recomputes the paper's headline claims.
-use nvr_bench::{experiment_scale, EXPERIMENT_SEED};
+//! Recomputes the paper's headline claims. `--jobs N` parallelises.
+use nvr_bench::{experiment_scale, jobs_from_args, EXPERIMENT_SEED};
 
 fn main() {
     println!(
         "{}",
-        nvr_sim::figures::headline::run(experiment_scale(), EXPERIMENT_SEED)
+        nvr_sim::figures::headline::run_jobs(experiment_scale(), EXPERIMENT_SEED, jobs_from_args())
     );
 }

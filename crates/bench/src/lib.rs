@@ -19,6 +19,41 @@ pub fn experiment_scale() -> Scale {
     Scale::Default
 }
 
+/// Worker-thread count for the experiment binaries: `--jobs N` (or `-j N`)
+/// from the CLI, defaulting to 1 — the printed numbers are identical
+/// either way (see `nvr_sim::sweep`), parallelism only changes wall clock.
+///
+/// # Panics
+///
+/// Exits the process with an error message when `--jobs` is malformed.
+#[must_use]
+pub fn jobs_from_args() -> usize {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let value = match arg.as_str() {
+            "--jobs" | "-j" => match it.next() {
+                Some(v) => Some(v.as_str()),
+                None => {
+                    eprintln!("error: {arg} needs a value");
+                    std::process::exit(2);
+                }
+            },
+            _ => arg.strip_prefix("--jobs="),
+        };
+        if let Some(v) = value {
+            match v.parse::<usize>() {
+                Ok(n) if n >= 1 => return n,
+                _ => {
+                    eprintln!("error: --jobs needs a positive integer, got `{v}`");
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
+    1
+}
+
 /// Runs one (workload, system) pair at bench scale — the unit of work the
 /// Criterion benches time.
 #[must_use]

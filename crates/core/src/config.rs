@@ -31,6 +31,13 @@ pub enum TriggerPolicy {
 pub struct NvrConfig {
     /// Parallel entries N — the vector processing width (Table I, N=16).
     pub vector_width: usize,
+    /// Line capacity of one VIGU vector operation (§IV-F). Each of the N
+    /// PIE lanes resolves one gather target per cycle, and a target row may
+    /// straddle a line boundary, so the issued vector carries up to
+    /// `2 * vector_width` line addresses. Collapsing this to N lines (the
+    /// pre-calibration value) throttles VMIG drain on multi-line rows and
+    /// under-reports the paper's miss coverage.
+    pub vmig_batch_lines: usize,
     /// Cache-line budget of outstanding speculative coverage: runahead may
     /// keep at most this many prefetched-but-unconsumed lines ahead of the
     /// ROB head. Expressed in lines (not tiles) so the depth adapts to row
@@ -68,9 +75,9 @@ impl NvrConfig {
     /// Returns [`NvrError::Config`] if a knob is zero or the fuzzy factor is
     /// not in `[1.0, 2.0]`.
     pub fn validate(&self) -> Result<(), NvrError> {
-        if self.vector_width == 0 || self.lookahead_lines == 0 {
+        if self.vector_width == 0 || self.lookahead_lines == 0 || self.vmig_batch_lines == 0 {
             return Err(NvrError::Config(
-                "NVR vector width and lookahead budget must be non-zero".into(),
+                "NVR vector width, VMIG batch and lookahead budget must be non-zero".into(),
             ));
         }
         if !(1.0..=2.0).contains(&self.fuzzy_factor) {
@@ -87,6 +94,7 @@ impl Default for NvrConfig {
     fn default() -> Self {
         NvrConfig {
             vector_width: 16,
+            vmig_batch_lines: 32,
             lookahead_lines: 256,
             fuzzy_factor: 1.1,
             use_lbd: true,
@@ -116,6 +124,11 @@ mod tests {
         assert!(bad.validate().is_err());
         let bad = NvrConfig {
             lookahead_lines: 0,
+            ..NvrConfig::default()
+        };
+        assert!(bad.validate().is_err());
+        let bad = NvrConfig {
+            vmig_batch_lines: 0,
             ..NvrConfig::default()
         };
         assert!(bad.validate().is_err());

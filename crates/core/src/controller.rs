@@ -118,7 +118,7 @@ impl NvrPrefetcher {
             sd: StrideDetector::new(cfg.vector_width),
             lbd: LoopBoundDetector::new(cfg.fuzzy_factor),
             scd: SparseChainDetector::new(),
-            vmig: Vmig::new(cfg.vector_width),
+            vmig: Vmig::new(cfg.vmig_batch_lines),
             clock: 0,
             state: None,
             current_tile: 0,
@@ -419,15 +419,16 @@ impl Prefetcher for NvrPrefetcher {
 
         // Per cycle: the VIGU issue port drains one vector while the
         // runahead thread (sparse unit + PIE) makes independent progress —
-        // they are separate hardware units. The VIGU holds partial bundles
-        // while resolution is flowing (that is its purpose) and flushes
-        // whenever the thread blocks or runs dry.
+        // they are separate hardware units. The VIGU accumulates a *full*
+        // vector (`vmig_batch_lines`) while resolution is flowing — partial
+        // issue would fragment the speculative MSHR file across undersized
+        // vectors — and flushes whenever the thread blocks or runs dry.
         while self.clock < to {
             let flowing = matches!(
                 self.state.as_ref().map(|st| &st.phase),
                 Some(Phase::Resolve { .. })
             );
-            let issued = if self.vmig.pending() >= self.cfg.vector_width || !flowing {
+            let issued = if self.vmig.pending() >= self.cfg.vmig_batch_lines || !flowing {
                 self.vmig.issue(mem, self.clock, self.cfg.fill_nsb) > 0
             } else {
                 false

@@ -21,6 +21,20 @@
 //! [`nvr_prefetch::Prefetcher`] and plugs into the same engine socket as the
 //! baselines.
 //!
+//! # Crate features
+//!
+//! * **`nvr-debug`** — verbose runahead tracing from the [`controller`] on
+//!   stderr: every speculative window open (`NVR window [start, end) ...`)
+//!   and every depth-bound stall (`NVR bound: ...`). Off by default and
+//!   fully compiled out when disabled, so the timing model pays nothing
+//!   for it. Enable it when a workload's coverage looks wrong and you need
+//!   to see *where* runahead stopped:
+//!
+//!   ```sh
+//!   cargo run -p nvr_sim --bin diag --features nvr_core/nvr-debug
+//!   cargo test -p nvr_core --features nvr-debug -- --nocapture
+//!   ```
+//!
 //! # Examples
 //!
 //! ```

@@ -45,9 +45,14 @@ pub mod prelude {
     pub use nvr_prefetch::{
         DvrPrefetcher, ImpPrefetcher, NullPrefetcher, Prefetcher, StreamPrefetcher,
     };
-    pub use nvr_sim::{run_system, RunOutcome, SystemKind};
+    pub use nvr_sim::figures::FigureId;
+    pub use nvr_sim::sweep::pool;
+    pub use nvr_sim::{
+        coverage, pollution, run_sweep, run_system, RunOutcome, SweepJob, SweepResults, SweepSpec,
+        SystemKind,
+    };
     pub use nvr_trace::{MemoryImage, NpuProgram, SnoopState, SparseFunc, TileOp};
-    pub use nvr_workloads::{Scale, WorkloadId, WorkloadSpec};
+    pub use nvr_workloads::{PointcloudParams, Scale, VoxelOrder, WorkloadId, WorkloadSpec};
 }
 
 #[cfg(test)]

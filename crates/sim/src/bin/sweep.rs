@@ -1,0 +1,259 @@
+//! `sweep` — parallel regeneration of the paper's evaluation.
+//!
+//! Two modes:
+//!
+//! * **figures** (default): regenerate every table and figure (or a
+//!   `--figure` subset) on `--jobs` workers. The numeric renditions go to
+//!   stdout; wall-clock timings go to stderr (and `--timings CSV`), so
+//!   stdout is byte-identical across worker counts:
+//!
+//!   ```sh
+//!   cargo run --release -p nvr_sim --bin sweep -- --jobs 4
+//!   cargo run --release -p nvr_sim --bin sweep -- --figure fig5 --figure headline
+//!   ```
+//!
+//! * **grid** (`--grid`): a raw workloads x systems x scales x widths x
+//!   seeds cartesian sweep with repeatable axis filters and CSV output:
+//!
+//!   ```sh
+//!   cargo run --release -p nvr_sim --bin sweep -- --grid --workload DS --system NVR \
+//!       --scale tiny --scale default --seed 1 --seed 2 --csv -
+//!   ```
+
+use std::io::Write as _;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use nvr_common::DataWidth;
+use nvr_sim::figures::FigureId;
+use nvr_sim::sweep::{pool, run_sweep, SweepSpec, DEFAULT_SEED};
+use nvr_sim::SystemKind;
+use nvr_workloads::{Scale, WorkloadId};
+
+const USAGE: &str = "\
+sweep — regenerate the paper's evaluation in parallel
+
+USAGE (figures mode, default):
+  sweep [--jobs N] [--scale SCALE] [--seed S] [--figure NAME]... [--timings PATH]
+
+USAGE (grid mode):
+  sweep --grid [--jobs N] [--workload W]... [--system S]... [--scale SCALE]...
+        [--width X]... [--seed S]... [--csv PATH|-] [--timings PATH]
+
+OPTIONS:
+  --jobs N        worker threads (default: available parallelism)
+  --figure NAME   fig1b|fig5|fig6|fig7|fig8|fig9|headline|table1|table2 (repeatable)
+  --workload W    DS|GAT|GCN|GSABT|H2O|MK|SCN|ST (repeatable; grid mode)
+  --system S      InO|OoO|Stream|IMP|DVR|NVR (repeatable; grid mode)
+  --scale SCALE   tiny|default|large (repeatable in grid mode)
+  --width X       int8|fp16|int32 (repeatable; grid mode)
+  --seed S        u64 seed (repeatable in grid mode)
+  --csv PATH      grid mode: write the deterministic result CSV (`-` = stdout)
+  --timings PATH  write wall-clock CSV (figures: per figure; grid: per cell)
+  --help          this text
+
+Numeric output is identical for every --jobs value; timings go to stderr.";
+
+struct Args {
+    jobs: usize,
+    grid: bool,
+    figures: Vec<FigureId>,
+    workloads: Vec<WorkloadId>,
+    systems: Vec<SystemKind>,
+    scales: Vec<Scale>,
+    widths: Vec<DataWidth>,
+    seeds: Vec<u64>,
+    csv: Option<String>,
+    timings: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        jobs: pool::default_workers(),
+        grid: false,
+        figures: Vec::new(),
+        workloads: Vec::new(),
+        systems: Vec::new(),
+        scales: Vec::new(),
+        widths: Vec::new(),
+        seeds: Vec::new(),
+        csv: None,
+        timings: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
+        match arg.as_str() {
+            "--help" | "-h" => return Err(String::new()),
+            "--grid" => args.grid = true,
+            "--jobs" => {
+                args.jobs = value("--jobs")?
+                    .parse()
+                    .map_err(|e| format!("--jobs: {e}"))?;
+            }
+            "--figure" => {
+                let v = value("--figure")?;
+                args.figures
+                    .push(FigureId::from_name(&v).ok_or_else(|| format!("unknown figure `{v}`"))?);
+            }
+            "--workload" => {
+                let v = value("--workload")?;
+                args.workloads.push(
+                    WorkloadId::from_short(&v).ok_or_else(|| format!("unknown workload `{v}`"))?,
+                );
+            }
+            "--system" => {
+                let v = value("--system")?;
+                args.systems.push(
+                    SystemKind::from_label(&v).ok_or_else(|| format!("unknown system `{v}`"))?,
+                );
+            }
+            "--scale" => args
+                .scales
+                .push(value("--scale")?.parse().map_err(|e| format!("{e}"))?),
+            "--width" => args
+                .widths
+                .push(value("--width")?.parse().map_err(|e| format!("{e}"))?),
+            "--seed" => {
+                args.seeds.push(
+                    value("--seed")?
+                        .parse()
+                        .map_err(|e| format!("--seed: {e}"))?,
+                );
+            }
+            "--csv" => args.csv = Some(value("--csv")?),
+            "--timings" => args.timings = Some(value("--timings")?),
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    if args.jobs == 0 {
+        return Err("--jobs must be at least 1".into());
+    }
+    // Reject flags that the selected mode would silently ignore.
+    if args.grid {
+        if !args.figures.is_empty() {
+            return Err("--figure only applies to figures mode (drop --grid)".into());
+        }
+    } else {
+        if !args.workloads.is_empty() || !args.systems.is_empty() || !args.widths.is_empty() {
+            return Err("--workload/--system/--width only apply to grid mode (add --grid)".into());
+        }
+        if args.csv.is_some() {
+            return Err(
+                "--csv only applies to grid mode (figures mode writes --timings instead)".into(),
+            );
+        }
+        if args.scales.len() > 1 || args.seeds.len() > 1 {
+            return Err(
+                "figures mode takes a single --scale and --seed (repeat them in --grid mode)"
+                    .into(),
+            );
+        }
+    }
+    Ok(args)
+}
+
+fn write_file(path: &str, contents: &str) -> Result<(), String> {
+    std::fs::write(path, contents).map_err(|e| format!("writing {path}: {e}"))
+}
+
+fn run_figures(args: &Args) -> Result<(), String> {
+    let figures = if args.figures.is_empty() {
+        FigureId::ALL.to_vec()
+    } else {
+        args.figures.clone()
+    };
+    let scale = args.scales.first().copied().unwrap_or_default();
+    let seed = args.seeds.first().copied().unwrap_or(DEFAULT_SEED);
+    let mut timing_csv = String::from("figure,wall_ms\n");
+    let t0 = Instant::now();
+    for fig in &figures {
+        let fig_t0 = Instant::now();
+        let rendition = fig.regenerate(scale, seed, args.jobs);
+        let wall = fig_t0.elapsed();
+        println!("{rendition}");
+        eprintln!(
+            "[sweep] {:<8} {:>8.1} ms",
+            fig.name(),
+            wall.as_secs_f64() * 1e3
+        );
+        timing_csv.push_str(&format!("{},{:.3}\n", fig.name(), wall.as_secs_f64() * 1e3));
+    }
+    let total = t0.elapsed();
+    eprintln!(
+        "[sweep] total    {:>8.1} ms ({} figures, {} jobs, scale {scale})",
+        total.as_secs_f64() * 1e3,
+        figures.len(),
+        args.jobs
+    );
+    timing_csv.push_str(&format!("total,{:.3}\n", total.as_secs_f64() * 1e3));
+    if let Some(path) = &args.timings {
+        write_file(path, &timing_csv)?;
+    }
+    Ok(())
+}
+
+fn run_grid(args: &Args) -> Result<(), String> {
+    fn pick<T: Clone>(chosen: &[T], default: Vec<T>) -> Vec<T> {
+        if chosen.is_empty() {
+            default
+        } else {
+            chosen.to_vec()
+        }
+    }
+    let defaults = SweepSpec::default();
+    let spec = SweepSpec {
+        workloads: pick(&args.workloads, defaults.workloads),
+        systems: pick(&args.systems, defaults.systems),
+        scales: pick(&args.scales, defaults.scales),
+        widths: pick(&args.widths, defaults.widths),
+        seeds: pick(&args.seeds, defaults.seeds),
+        mem_cfg: defaults.mem_cfg,
+    };
+    let results = run_sweep(&spec, args.jobs);
+    match args.csv.as_deref() {
+        Some("-") => print!("{}", results.to_csv()),
+        Some(path) => {
+            write_file(path, &results.to_csv())?;
+            println!("{results}");
+        }
+        None => println!("{results}"),
+    }
+    eprintln!(
+        "[sweep] {} cells in {:.1} ms ({} jobs)",
+        results.cells.len(),
+        results.wall.as_secs_f64() * 1e3,
+        args.jobs
+    );
+    if let Some(path) = &args.timings {
+        write_file(path, &results.timing_csv())?;
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            let mut err = std::io::stderr().lock();
+            if msg.is_empty() {
+                let _ = writeln!(err, "{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            let _ = writeln!(err, "error: {msg}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let outcome = if args.grid {
+        run_grid(&args)
+    } else {
+        run_figures(&args)
+    };
+    match outcome {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

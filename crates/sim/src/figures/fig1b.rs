@@ -13,6 +13,7 @@ use nvr_workloads::{Scale, WorkloadSpec};
 
 use crate::report::{fmt3, Table};
 use crate::runner::{run_system, SystemKind};
+use crate::sweep::run_batch;
 
 /// One sweep point.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -45,31 +46,47 @@ impl Fig1b {
     }
 }
 
-/// Runs the sweep at the given scale and seed.
+/// Runs the ratio sweep at the given scale and seed on `jobs` workers.
+/// Each ratio is one independent sweep job (its own program build + run).
+#[must_use]
+pub fn run_jobs(scale: Scale, seed: u64, jobs: usize) -> Fig1b {
+    let ratios = [1usize, 2, 4, 8, 16];
+    let tasks: Vec<_> = ratios
+        .iter()
+        .map(|&ratio| {
+            move || {
+                let spec = WorkloadSpec {
+                    width: nvr_common::DataWidth::Fp16,
+                    seed,
+                    scale,
+                };
+                let program = double_sparsity::build_with_ratio(&spec, ratio);
+                run_system(&program, &MemoryConfig::default(), SystemKind::InOrder)
+            }
+        })
+        .collect();
+    let outcomes = run_batch(tasks, jobs);
+    let dense = outcomes[0].result.total_cycles;
+    let points = ratios
+        .iter()
+        .zip(&outcomes)
+        .map(|(&ratio, outcome)| {
+            let cycles = outcome.result.total_cycles;
+            Point {
+                ratio,
+                cycles,
+                speedup: dense as f64 / cycles.max(1) as f64,
+                offchip_lines: outcome.result.mem.demand_offchip_lines(),
+            }
+        })
+        .collect();
+    Fig1b { points }
+}
+
+/// Runs the sweep single-threaded.
 #[must_use]
 pub fn run(scale: Scale, seed: u64) -> Fig1b {
-    let mem_cfg = MemoryConfig::default();
-    let ratios = [1usize, 2, 4, 8, 16];
-    let mut points = Vec::with_capacity(ratios.len());
-    let mut dense_cycles = None;
-    for &ratio in &ratios {
-        let spec = WorkloadSpec {
-            width: nvr_common::DataWidth::Fp16,
-            seed,
-            scale,
-        };
-        let program = double_sparsity::build_with_ratio(&spec, ratio);
-        let outcome = run_system(&program, &mem_cfg, SystemKind::InOrder);
-        let cycles = outcome.result.total_cycles;
-        let dense = *dense_cycles.get_or_insert(cycles);
-        points.push(Point {
-            ratio,
-            cycles,
-            speedup: dense as f64 / cycles.max(1) as f64,
-            offchip_lines: outcome.result.mem.demand_offchip_lines(),
-        });
-    }
-    Fig1b { points }
+    run_jobs(scale, seed, 1)
 }
 
 impl fmt::Display for Fig1b {

@@ -10,10 +10,11 @@ use std::fmt;
 use nvr_common::DataWidth;
 use nvr_core::nsb_config;
 use nvr_mem::MemoryConfig;
-use nvr_workloads::{Scale, WorkloadId, WorkloadSpec};
+use nvr_workloads::{Scale, WorkloadId};
 
 use crate::report::{fmt3, Table};
-use crate::runner::{run_system, SystemKind};
+use crate::runner::SystemKind;
+use crate::sweep::{run_sweep, SweepSpec};
 
 /// One bar of one panel.
 #[derive(Debug, Clone, PartialEq)]
@@ -78,23 +79,61 @@ impl Fig5 {
     }
 }
 
-/// Runs one panel.
-fn run_panel(scale: Scale, seed: u64, width: DataWidth, nsb: bool, bars: &mut Vec<Bar>) {
+/// Runs one panel as a sweep over `jobs` workers.
+fn run_panel(
+    scale: Scale,
+    seed: u64,
+    width: DataWidth,
+    nsb: bool,
+    jobs: usize,
+    bars: &mut Vec<Bar>,
+) {
     let mem_cfg = if nsb {
         MemoryConfig::default().with_nsb(nsb_config(16))
     } else {
         MemoryConfig::default()
     };
-    let plain_cfg = MemoryConfig::default();
+    let panel = run_sweep(
+        &SweepSpec {
+            scales: vec![scale],
+            widths: vec![width],
+            seeds: vec![seed],
+            mem_cfg,
+            ..SweepSpec::default()
+        },
+        jobs,
+    );
+    // The normalisation denominator: InO, same width, no NSB. For the NSB
+    // panel that baseline is not in the panel's own grid, so run it as a
+    // second (InO-only) sweep.
+    let plain_ino;
+    let denom_sweep = if nsb {
+        plain_ino = run_sweep(
+            &SweepSpec {
+                systems: vec![SystemKind::InOrder],
+                scales: vec![scale],
+                widths: vec![width],
+                seeds: vec![seed],
+                ..SweepSpec::default()
+            },
+            jobs,
+        );
+        &plain_ino
+    } else {
+        &panel
+    };
     for w in WorkloadId::ALL {
-        let spec = WorkloadSpec { width, seed, scale };
-        let program = w.build(&spec);
-        // The normalisation denominator: InO, same width, no NSB.
-        let denom = run_system(&program, &plain_cfg, SystemKind::InOrder)
+        let denom = denom_sweep
+            .get(w, SystemKind::InOrder, scale, width, seed)
+            .expect("InO baseline in sweep")
+            .outcome
             .result
             .total_cycles;
         for system in SystemKind::ALL {
-            let o = run_system(&program, &mem_cfg, system);
+            let o = &panel
+                .get(w, system, scale, width, seed)
+                .expect("sweep covers the full grid")
+                .outcome;
             bars.push(Bar {
                 workload: w.short(),
                 system: system.label(),
@@ -108,15 +147,21 @@ fn run_panel(scale: Scale, seed: u64, width: DataWidth, nsb: bool, bars: &mut Ve
     }
 }
 
-/// Runs all four panels.
+/// Runs all four panels on `jobs` workers.
 #[must_use]
-pub fn run(scale: Scale, seed: u64) -> Fig5 {
+pub fn run_jobs(scale: Scale, seed: u64, jobs: usize) -> Fig5 {
     let mut bars = Vec::new();
     for width in DataWidth::ALL {
-        run_panel(scale, seed, width, false, &mut bars);
+        run_panel(scale, seed, width, false, jobs, &mut bars);
     }
-    run_panel(scale, seed, DataWidth::Int32, true, &mut bars);
+    run_panel(scale, seed, DataWidth::Int32, true, jobs, &mut bars);
     Fig5 { bars }
+}
+
+/// Runs all four panels, single-threaded.
+#[must_use]
+pub fn run(scale: Scale, seed: u64) -> Fig5 {
+    run_jobs(scale, seed, 1)
 }
 
 impl fmt::Display for Fig5 {
@@ -169,7 +214,7 @@ mod tests {
     #[test]
     fn int8_panel_shape_holds() {
         let mut bars = Vec::new();
-        run_panel(Scale::Tiny, 11, DataWidth::Int8, false, &mut bars);
+        run_panel(Scale::Tiny, 11, DataWidth::Int8, false, 2, &mut bars);
         let fig = Fig5 { bars };
         let panel = fig.panel(DataWidth::Int8, false);
         assert_eq!(panel.len(), 8 * 6);

@@ -10,11 +10,12 @@ use std::fmt;
 use nvr_common::DataWidth;
 use nvr_core::nsb_config;
 use nvr_mem::MemoryConfig;
-use nvr_workloads::{Scale, WorkloadId, WorkloadSpec};
+use nvr_workloads::{Scale, WorkloadId};
 
-use crate::metrics::coverage;
+use crate::metrics::{coverage, pollution};
 use crate::report::{fmt3, Table};
-use crate::runner::{run_system, SystemKind};
+use crate::runner::SystemKind;
+use crate::sweep::{run_sweep, SweepSpec};
 
 /// Accuracy/coverage of one (workload, prefetcher) pair.
 #[derive(Debug, Clone, PartialEq)]
@@ -25,8 +26,12 @@ pub struct AccCov {
     pub system: &'static str,
     /// Prefetch accuracy in `[0, 1]`.
     pub accuracy: f64,
-    /// Miss coverage in `[0, 1]`.
+    /// Miss coverage in `[0, 1]` (clamped — see [`coverage`]).
     pub coverage: f64,
+    /// Signed miss delta vs no prefetching: positive means the prefetcher
+    /// *added* misses (see [`pollution`]) — the case the clamped coverage
+    /// column cannot distinguish from "did nothing".
+    pub pollution: f64,
 }
 
 /// Panel (c): data-movement split of one system.
@@ -112,59 +117,123 @@ impl Fig6 {
 }
 
 /// Runs accuracy/coverage for every workload and prefetcher, plus the
-/// movement panel on the DS workload.
+/// movement panel on the DS workload, over `jobs` workers.
 #[must_use]
-pub fn run(scale: Scale, seed: u64) -> Fig6 {
-    run_with_workloads(scale, seed, &WorkloadId::ALL)
+pub fn run_jobs(scale: Scale, seed: u64, jobs: usize) -> Fig6 {
+    run_jobs_with_workloads(scale, seed, jobs, &WorkloadId::ALL)
 }
 
-/// Runs with a workload subset (tests use fewer).
+/// Single-threaded convenience wrapper over [`run_jobs`].
+#[must_use]
+pub fn run(scale: Scale, seed: u64) -> Fig6 {
+    run_jobs(scale, seed, 1)
+}
+
+/// Single-threaded variant of [`run_jobs_with_workloads`].
 #[must_use]
 pub fn run_with_workloads(scale: Scale, seed: u64, workloads: &[WorkloadId]) -> Fig6 {
-    let mem_cfg = MemoryConfig::default();
+    run_jobs_with_workloads(scale, seed, 1, workloads)
+}
+
+/// Runs with a workload subset (tests use fewer) on `jobs` workers.
+#[must_use]
+pub fn run_jobs_with_workloads(
+    scale: Scale,
+    seed: u64,
+    jobs: usize,
+    workloads: &[WorkloadId],
+) -> Fig6 {
+    let width = DataWidth::Fp16;
+    // Panels (a)/(b): the workloads x (InO + prefetchers) grid.
+    let grid = run_sweep(
+        &SweepSpec {
+            workloads: workloads.to_vec(),
+            systems: std::iter::once(SystemKind::InOrder)
+                .chain(SystemKind::PREFETCHERS)
+                .collect(),
+            scales: vec![scale],
+            widths: vec![width],
+            seeds: vec![seed],
+            ..SweepSpec::default()
+        },
+        jobs,
+    );
     let mut cells = Vec::new();
     for &w in workloads {
-        let spec = WorkloadSpec {
-            width: DataWidth::Fp16,
-            seed,
-            scale,
-        };
-        let program = w.build(&spec);
-        let baseline = run_system(&program, &mem_cfg, SystemKind::InOrder);
-        let base_misses = baseline.result.mem.l2.demand_misses.get();
+        let base_misses = grid
+            .get(w, SystemKind::InOrder, scale, width, seed)
+            .expect("InO baseline in sweep")
+            .outcome
+            .result
+            .mem
+            .l2
+            .demand_misses
+            .get();
         for system in SystemKind::PREFETCHERS {
-            let o = run_system(&program, &mem_cfg, system);
+            let o = &grid
+                .get(w, system, scale, width, seed)
+                .expect("sweep covers the full grid")
+                .outcome;
+            let misses = o.result.mem.l2.demand_misses.get();
             cells.push(AccCov {
                 workload: w.short(),
                 system: system.label(),
                 accuracy: o.result.mem.prefetch_accuracy(),
-                coverage: coverage(base_misses, o.result.mem.l2.demand_misses.get()),
+                coverage: coverage(base_misses, misses),
+                pollution: pollution(base_misses, misses),
             });
         }
     }
 
-    // Panel (c): DS-class data movement, InO vs NVR vs NVR+NSB.
-    let spec = WorkloadSpec {
-        width: DataWidth::Fp16,
-        seed,
-        scale,
+    // Panel (c): DS-class data movement, InO vs NVR vs NVR+NSB. A full
+    // run already has the plain DS cells in `grid`; only subset runs
+    // (tests) need the mini-sweep, and the NSB configuration always does.
+    let ds = SweepSpec {
+        workloads: vec![WorkloadId::Ds],
+        systems: vec![SystemKind::InOrder, SystemKind::Nvr],
+        scales: vec![scale],
+        widths: vec![width],
+        seeds: vec![seed],
+        ..SweepSpec::default()
     };
-    let program = WorkloadId::Ds.build(&spec);
+    let mini;
+    let plain = if workloads.contains(&WorkloadId::Ds) {
+        &grid
+    } else {
+        mini = run_sweep(&ds, jobs);
+        &mini
+    };
+    let nsb_sweep = run_sweep(
+        &SweepSpec {
+            systems: vec![SystemKind::Nvr],
+            mem_cfg: MemoryConfig::default().with_nsb(nsb_config(16)),
+            ..ds
+        },
+        jobs,
+    );
     let mut movement = Vec::new();
-    let ino = run_system(&program, &mem_cfg, SystemKind::InOrder);
+    let ino = &plain
+        .get(WorkloadId::Ds, SystemKind::InOrder, scale, width, seed)
+        .expect("cell present")
+        .outcome;
     movement.push(Movement {
         system: "InO".into(),
         offchip_lines: ino.result.mem.demand_offchip_lines(),
         onchip_hits: ino.result.mem.l2.demand_hits.get(),
     });
-    let nvr = run_system(&program, &mem_cfg, SystemKind::Nvr);
+    let nvr = &plain
+        .get(WorkloadId::Ds, SystemKind::Nvr, scale, width, seed)
+        .expect("cell present")
+        .outcome;
     movement.push(Movement {
         system: "NVR".into(),
         offchip_lines: nvr.result.mem.demand_offchip_lines(),
         onchip_hits: nvr.result.mem.l2.demand_hits.get(),
     });
-    let nsb_cfg = MemoryConfig::default().with_nsb(nsb_config(16));
-    let nsb = run_system(&program, &nsb_cfg, SystemKind::Nvr);
+    let nsb = &nsb_sweep
+        .get(WorkloadId::Ds, SystemKind::Nvr, scale, width, seed)
+        .expect("cell present")
+        .outcome;
     let nsb_hits = nsb
         .result
         .mem
@@ -182,12 +251,16 @@ pub fn run_with_workloads(scale: Scale, seed: u64, workloads: &[WorkloadId]) -> 
 
 impl fmt::Display for Fig6 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Fig. 6a/b — prefetcher accuracy and coverage")?;
+        writeln!(
+            f,
+            "Fig. 6a/b — prefetcher accuracy, coverage and signed pollution"
+        )?;
         let mut t = Table::new(vec![
             "workload".into(),
             "system".into(),
             "accuracy".into(),
             "coverage".into(),
+            "pollution".into(),
         ]);
         for c in &self.cells {
             t.row(vec![
@@ -195,6 +268,11 @@ impl fmt::Display for Fig6 {
                 c.system.into(),
                 fmt3(c.accuracy),
                 fmt3(c.coverage),
+                format!(
+                    "{}{}",
+                    if c.pollution > 0.0 { "+" } else { "" },
+                    fmt3(c.pollution)
+                ),
             ]);
         }
         writeln!(f, "{t}")?;
@@ -256,6 +334,26 @@ mod tests {
             "NVR accuracy {}",
             fig.avg_accuracy("NVR")
         );
+    }
+
+    #[test]
+    fn pollution_is_the_unclamped_coverage() {
+        let fig = run_with_workloads(Scale::Tiny, 5, &[WorkloadId::Ds, WorkloadId::Mk]);
+        for c in &fig.cells {
+            // coverage == clamp(-pollution, 0, 1) by construction; a
+            // positive pollution must coincide with zero coverage.
+            assert!(
+                (c.coverage - (-c.pollution).clamp(0.0, 1.0)).abs() < 1e-9,
+                "{}/{}: coverage {} vs pollution {}",
+                c.workload,
+                c.system,
+                c.coverage,
+                c.pollution
+            );
+            if c.pollution > 0.0 {
+                assert_eq!(c.coverage, 0.0);
+            }
+        }
     }
 
     #[test]

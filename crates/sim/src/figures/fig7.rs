@@ -10,10 +10,11 @@ use std::fmt;
 use nvr_common::{DataWidth, LINE_BYTES};
 use nvr_core::nsb_config;
 use nvr_mem::MemoryConfig;
-use nvr_workloads::{Scale, WorkloadId, WorkloadSpec};
+use nvr_workloads::{Scale, WorkloadId};
 
 use crate::report::{fmt3, Table};
-use crate::runner::{run_system, SystemKind};
+use crate::runner::SystemKind;
+use crate::sweep::{run_sweep, SweepResults, SweepSpec};
 
 /// Byte flows of one configuration, aggregated over workloads.
 #[derive(Debug, Clone, PartialEq, Default)]
@@ -61,25 +62,23 @@ impl Fig7 {
     }
 }
 
+/// Aggregates one configuration's byte flows from its sweep cells.
 fn collect(
     label: &str,
+    results: &SweepResults,
+    system: SystemKind,
     scale: Scale,
     seed: u64,
-    mem_cfg: &MemoryConfig,
-    system: SystemKind,
 ) -> Flows {
     let mut fl = Flows {
         label: label.to_owned(),
         ..Flows::default()
     };
     for w in WorkloadId::ALL {
-        let spec = WorkloadSpec {
-            width: DataWidth::Fp16,
-            seed,
-            scale,
-        };
-        let program = w.build(&spec);
-        let o = run_system(&program, mem_cfg, system);
+        let o = &results
+            .get(w, system, scale, DataWidth::Fp16, seed)
+            .expect("sweep covers the full grid")
+            .outcome;
         let m = &o.result.mem;
         fl.npu_read_bytes += m.l2.demand_accesses() * LINE_BYTES
             + m.nsb
@@ -96,18 +95,38 @@ fn collect(
     fl
 }
 
-/// Runs the three configurations over all workloads.
+/// Runs the three configurations over all workloads on `jobs` workers.
 #[must_use]
-pub fn run(scale: Scale, seed: u64) -> Fig7 {
-    let plain = MemoryConfig::default();
-    let with_nsb = MemoryConfig::default().with_nsb(nsb_config(16));
+pub fn run_jobs(scale: Scale, seed: u64, jobs: usize) -> Fig7 {
+    let base = SweepSpec {
+        systems: vec![SystemKind::InOrder, SystemKind::Nvr],
+        scales: vec![scale],
+        widths: vec![DataWidth::Fp16],
+        seeds: vec![seed],
+        ..SweepSpec::default()
+    };
+    let plain = run_sweep(&base, jobs);
+    let with_nsb = run_sweep(
+        &SweepSpec {
+            systems: vec![SystemKind::Nvr],
+            mem_cfg: MemoryConfig::default().with_nsb(nsb_config(16)),
+            ..base
+        },
+        jobs,
+    );
     Fig7 {
         flows: vec![
-            collect("InO", scale, seed, &plain, SystemKind::InOrder),
-            collect("NVR", scale, seed, &plain, SystemKind::Nvr),
-            collect("NVR+NSB", scale, seed, &with_nsb, SystemKind::Nvr),
+            collect("InO", &plain, SystemKind::InOrder, scale, seed),
+            collect("NVR", &plain, SystemKind::Nvr, scale, seed),
+            collect("NVR+NSB", &with_nsb, SystemKind::Nvr, scale, seed),
         ],
     }
+}
+
+/// Runs the three configurations, single-threaded.
+#[must_use]
+pub fn run(scale: Scale, seed: u64) -> Fig7 {
+    run_jobs(scale, seed, 1)
 }
 
 impl fmt::Display for Fig7 {
@@ -149,10 +168,15 @@ mod tests {
 
     #[test]
     fn nvr_shifts_traffic_from_demand_to_prefetch() {
-        // Single-workload variant for speed.
-        let plain = MemoryConfig::default();
-        let ino = collect("InO", Scale::Tiny, 7, &plain, SystemKind::InOrder);
-        let nvr = collect("NVR", Scale::Tiny, 7, &plain, SystemKind::Nvr);
+        let fig = run_jobs(Scale::Tiny, 7, 2);
+        let find = |label: &str| {
+            fig.flows
+                .iter()
+                .find(|fl| fl.label == label)
+                .expect("config present")
+        };
+        let ino = find("InO");
+        let nvr = find("NVR");
         assert!(nvr.offchip_demand_bytes * 2 < ino.offchip_demand_bytes);
         assert!(nvr.offchip_prefetch_bytes > 0);
         assert_eq!(ino.offchip_prefetch_bytes, 0);

@@ -17,6 +17,7 @@ use nvr_mem::{DramConfig, MemoryConfig};
 
 use crate::report::{fmt3, Table};
 use crate::runner::{run_system, SystemKind};
+use crate::sweep::run_batch;
 
 /// Panel (a): one layer's miss rates under one system.
 #[derive(Debug, Clone, PartialEq)]
@@ -111,72 +112,105 @@ fn sparse_step_cycles(
 /// Bandwidth sweep points (bytes/cycle ~ GB/s at 1 GHz).
 const BANDWIDTHS: [u64; 6] = [4, 8, 16, 32, 64, 128];
 
-/// Runs all three panels. `fast` trims the sweep for tests.
+/// Curve family of one panel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PanelKind {
+    Prefill,
+    Decode,
+}
+
+/// Runs all three panels on `jobs` workers. `fast` trims the sweep for
+/// tests. Every (layer, system) cell and every (panel, length, system,
+/// bandwidth) point is one independent sweep job.
 #[must_use]
-pub fn run(seed: u64, fast: bool) -> Fig8 {
+pub fn run_jobs(seed: u64, fast: bool, jobs: usize) -> Fig8 {
     let cfg = LlmConfig::default();
-    let mem_cfg = MemoryConfig::default();
     let mut fig = Fig8::default();
 
     // Panel (a): layer miss rates at l = 2048.
     let l = 2048;
-    for (layer, program) in [
-        ("QKV", qkv_program(&cfg, l)),
-        ("QKT", qkt_program(&cfg, l, seed)),
-        ("AV", av_program(&cfg, l, seed)),
-    ] {
-        for system in [SystemKind::InOrder, SystemKind::Nvr] {
-            let o = run_system(&program, &mem_cfg, system);
-            fig.layer_misses.push(LayerMiss {
-                layer,
-                system: system.label(),
-                batch_miss_rate: o.result.batch_miss_rate(),
-                element_miss_rate: o.result.element_miss_rate(),
-            });
-        }
-    }
+    let layer_tasks: Vec<_> = ["QKV", "QKT", "AV"]
+        .into_iter()
+        .flat_map(|layer| {
+            [SystemKind::InOrder, SystemKind::Nvr].map(|system| {
+                move || {
+                    let program = match layer {
+                        "QKV" => qkv_program(&cfg, l),
+                        "QKT" => qkt_program(&cfg, l, seed),
+                        _ => av_program(&cfg, l, seed),
+                    };
+                    let o = run_system(&program, &MemoryConfig::default(), system);
+                    LayerMiss {
+                        layer,
+                        system: system.label(),
+                        batch_miss_rate: o.result.batch_miss_rate(),
+                        element_miss_rate: o.result.element_miss_rate(),
+                    }
+                }
+            })
+        })
+        .collect();
+    fig.layer_misses = run_batch(layer_tasks, jobs);
 
     let bandwidths: &[u64] = if fast { &BANDWIDTHS[..3] } else { &BANDWIDTHS };
     let prefill_lens: &[usize] = if fast { &[1024] } else { &[1024, 2048, 4096] };
     let decode_lens: &[usize] = if fast { &[512] } else { &[512, 1024, 2048] };
 
-    for &l in prefill_lens {
-        for nvr in [false, true] {
-            let points = bandwidths
-                .iter()
-                .map(|&b| {
+    // Panels (b)/(c): one job per curve point, flattened so the pool
+    // load-balances across the whole grid at once.
+    let mut meta = Vec::new();
+    for (kind, lens) in [
+        (PanelKind::Prefill, prefill_lens),
+        (PanelKind::Decode, decode_lens),
+    ] {
+        for &l in lens {
+            for nvr in [false, true] {
+                for &b in bandwidths {
+                    meta.push((kind, l, nvr, b));
+                }
+            }
+        }
+    }
+    let point_tasks: Vec<_> = meta
+        .iter()
+        .map(|&(kind, l, nvr, b)| {
+            move || match kind {
+                PanelKind::Prefill => {
                     // Prefill processes queries in blocks sharing gathers;
                     // the sparse share is ~1/64 of a per-token decode pass.
                     let sparse = sparse_step_cycles(&cfg, l, b, nvr, seed) * l as f64 / 64.0;
-                    let p = prefill_throughput(&cfg, l, b, sparse);
-                    (b, p.tokens_per_mcycle)
-                })
-                .collect();
-            fig.prefill.push(Curve {
-                seq_len: l,
-                nvr,
-                points,
-            });
-        }
-    }
-    for &l in decode_lens {
-        for nvr in [false, true] {
-            let points = bandwidths
-                .iter()
-                .map(|&b| {
+                    prefill_throughput(&cfg, l, b, sparse).tokens_per_mcycle
+                }
+                PanelKind::Decode => {
                     let sparse = sparse_step_cycles(&cfg, l, b, nvr, seed);
-                    let p = decode_throughput(&cfg, l, b, sparse);
-                    (b, p.tokens_per_mcycle)
-                })
-                .collect();
-            fig.decode.push(Curve {
+                    decode_throughput(&cfg, l, b, sparse).tokens_per_mcycle
+                }
+            }
+        })
+        .collect();
+    let throughputs = run_batch(point_tasks, jobs);
+
+    for ((kind, l, nvr, b), tput) in meta.into_iter().zip(throughputs) {
+        let curves = match kind {
+            PanelKind::Prefill => &mut fig.prefill,
+            PanelKind::Decode => &mut fig.decode,
+        };
+        match curves.iter_mut().find(|c| c.seq_len == l && c.nvr == nvr) {
+            Some(curve) => curve.points.push((b, tput)),
+            None => curves.push(Curve {
                 seq_len: l,
                 nvr,
-                points,
-            });
+                points: vec![(b, tput)],
+            }),
         }
     }
     fig
+}
+
+/// Runs all three panels, single-threaded.
+#[must_use]
+pub fn run(seed: u64, fast: bool) -> Fig8 {
+    run_jobs(seed, fast, 1)
 }
 
 impl fmt::Display for Fig8 {

@@ -14,9 +14,12 @@ use nvr_common::{DataWidth, LINE_BYTES};
 use nvr_core::{nsb_config, NvrConfig, NvrPrefetcher};
 use nvr_mem::{CacheConfig, MemoryConfig, MemorySystem};
 use nvr_npu::{NpuConfig, NpuEngine};
+use nvr_workloads::minkowski::{self, PointcloudParams, VoxelOrder};
 use nvr_workloads::{Scale, WorkloadId, WorkloadSpec};
 
 use crate::report::{fmt3, Table};
+use crate::runner::{run_system, SystemKind};
+use crate::sweep::run_batch;
 
 /// One cell of the sensitivity grid.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -31,11 +34,28 @@ pub struct Cell {
     pub perf: f64,
 }
 
+/// One cell of the point-cloud density/order sensitivity sweep — the
+/// workload-side axes [`PointcloudParams`] opens.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DensityCell {
+    /// Occupied voxels in the scene.
+    pub points: usize,
+    /// Output-voxel traversal order.
+    pub order: VoxelOrder,
+    /// NVR total cycles.
+    pub nvr_cycles: u64,
+    /// NVR speedup over the in-order no-prefetch run of the same scene.
+    pub speedup: f64,
+}
+
 /// The Fig. 9 grid.
 #[derive(Debug, Clone, Default)]
 pub struct Fig9 {
     /// All grid cells, row-major by NSB size.
     pub cells: Vec<Cell>,
+    /// The point-cloud density/order sensitivity companion sweep (empty
+    /// for subset runs).
+    pub density: Vec<DensityCell>,
 }
 
 /// NSB sweep points (KB).
@@ -64,50 +84,125 @@ impl Fig9 {
     }
 }
 
-/// Runs the sweep (optionally restricted for tests).
+/// Runs the sizing grid (optionally restricted for tests) on `jobs`
+/// workers — each (NSB, L2) cell is one independent sweep job.
 #[must_use]
-pub fn run_subset(scale: Scale, seed: u64, nsb_sizes: &[u64], l2_sizes: &[u64]) -> Fig9 {
-    let spec = WorkloadSpec {
-        width: DataWidth::Fp16,
-        seed,
-        scale,
-    };
-    let program = WorkloadId::H2o.build(&spec);
-    let engine = NpuEngine::new(NpuConfig::default());
-    let mut cells = Vec::new();
+pub fn run_subset_jobs(
+    scale: Scale,
+    seed: u64,
+    nsb_sizes: &[u64],
+    l2_sizes: &[u64],
+    jobs: usize,
+) -> Fig9 {
+    let mut grid = Vec::with_capacity(nsb_sizes.len() * l2_sizes.len());
     for &nsb_kb in nsb_sizes {
         for &l2_kb in l2_sizes {
-            let mem_cfg = MemoryConfig::default()
-                .with_l2(CacheConfig::l2_default().with_size(l2_kb * 1024))
-                .with_nsb(nsb_config(nsb_kb));
-            // Co-design: the NSB is the speculative buffer, so it bounds
-            // how much speculative state NVR may keep in flight (§IV-G) —
-            // half its lines, leaving the rest for resident reuse.
-            let lookahead = ((nsb_kb * 1024 / LINE_BYTES) / 2).max(16) as usize;
-            let nvr_cfg = NvrConfig {
-                fill_nsb: true,
-                lookahead_lines: lookahead,
-                ..NvrConfig::default()
-            };
-            let mut mem = MemorySystem::new(mem_cfg);
-            let mut nvr = NvrPrefetcher::new(nvr_cfg);
-            let result = engine.run(&program, &mut mem, &mut nvr);
-            let area_kb = (nsb_kb + l2_kb) as f64;
-            cells.push(Cell {
-                nsb_kb,
-                l2_kb,
-                cycles: result.total_cycles,
-                perf: 1.0e9 / (result.total_cycles as f64 * area_kb),
-            });
+            grid.push((nsb_kb, l2_kb));
         }
     }
-    Fig9 { cells }
+    let tasks: Vec<_> = grid
+        .into_iter()
+        .map(|(nsb_kb, l2_kb)| {
+            move || {
+                let spec = WorkloadSpec {
+                    width: DataWidth::Fp16,
+                    seed,
+                    scale,
+                };
+                let program = WorkloadId::H2o.build(&spec);
+                let engine = NpuEngine::new(NpuConfig::default());
+                let mem_cfg = MemoryConfig::default()
+                    .with_l2(CacheConfig::l2_default().with_size(l2_kb * 1024))
+                    .with_nsb(nsb_config(nsb_kb));
+                // Co-design: the NSB is the speculative buffer, so it bounds
+                // how much speculative state NVR may keep in flight (§IV-G) —
+                // half its lines, leaving the rest for resident reuse.
+                let lookahead = ((nsb_kb * 1024 / LINE_BYTES) / 2).max(16) as usize;
+                let nvr_cfg = NvrConfig {
+                    fill_nsb: true,
+                    lookahead_lines: lookahead,
+                    ..NvrConfig::default()
+                };
+                let mut mem = MemorySystem::new(mem_cfg);
+                let mut nvr = NvrPrefetcher::new(nvr_cfg);
+                let result = engine.run(&program, &mut mem, &mut nvr);
+                let area_kb = (nsb_kb + l2_kb) as f64;
+                Cell {
+                    nsb_kb,
+                    l2_kb,
+                    cycles: result.total_cycles,
+                    perf: 1.0e9 / (result.total_cycles as f64 * area_kb),
+                }
+            }
+        })
+        .collect();
+    Fig9 {
+        cells: run_batch(tasks, jobs),
+        density: Vec::new(),
+    }
 }
 
-/// Runs the full paper grid.
+/// Single-threaded subset runner (tests).
+#[must_use]
+pub fn run_subset(scale: Scale, seed: u64, nsb_sizes: &[u64], l2_sizes: &[u64]) -> Fig9 {
+    run_subset_jobs(scale, seed, nsb_sizes, l2_sizes, 1)
+}
+
+/// Density sweep points (occupied voxels of the MK-shaped scene).
+pub const DENSITY_POINTS: [usize; 3] = [2048, 8192, 16384];
+
+/// Runs the point-cloud density/order companion sweep: the workload-side
+/// sensitivity the [`PointcloudParams`] knobs open. Each (density, order)
+/// scene runs InO and NVR; the cell reports NVR's speedup.
+#[must_use]
+pub fn density_sweep_jobs(scale: Scale, seed: u64, jobs: usize) -> Vec<DensityCell> {
+    let mut axes = Vec::new();
+    for &points in &DENSITY_POINTS {
+        for order in [VoxelOrder::Random, VoxelOrder::Sorted] {
+            axes.push((points, order));
+        }
+    }
+    let tasks: Vec<_> = axes
+        .into_iter()
+        .map(|(points, order)| {
+            move || {
+                let spec = WorkloadSpec {
+                    width: DataWidth::Fp16,
+                    seed,
+                    scale,
+                };
+                let params = PointcloudParams::mk_default()
+                    .with_points(points)
+                    .with_order(order);
+                let program = minkowski::build_with_params(&spec, &params);
+                let mem_cfg = MemoryConfig::default();
+                let ino = run_system(&program, &mem_cfg, SystemKind::InOrder);
+                let nvr = run_system(&program, &mem_cfg, SystemKind::Nvr);
+                DensityCell {
+                    points,
+                    order,
+                    nvr_cycles: nvr.result.total_cycles,
+                    speedup: ino.result.total_cycles as f64 / nvr.result.total_cycles.max(1) as f64,
+                }
+            }
+        })
+        .collect();
+    run_batch(tasks, jobs)
+}
+
+/// Runs the full paper grid plus the density/order companion sweep on
+/// `jobs` workers.
+#[must_use]
+pub fn run_jobs(scale: Scale, seed: u64, jobs: usize) -> Fig9 {
+    let mut fig = run_subset_jobs(scale, seed, &NSB_SIZES, &L2_SIZES, jobs);
+    fig.density = density_sweep_jobs(scale, seed, jobs);
+    fig
+}
+
+/// Runs the full paper grid, single-threaded.
 #[must_use]
 pub fn run(scale: Scale, seed: u64) -> Fig9 {
-    run_subset(scale, seed, &NSB_SIZES, &L2_SIZES)
+    run_jobs(scale, seed, 1)
 }
 
 impl fmt::Display for Fig9 {
@@ -161,6 +256,28 @@ impl fmt::Display for Fig9 {
                 )?;
             }
         }
+        if !self.density.is_empty() {
+            writeln!(f)?;
+            writeln!(
+                f,
+                "Fig. 9 companion — point-cloud density/order sensitivity (MK-shaped scene)"
+            )?;
+            let mut t = Table::new(vec![
+                "points".into(),
+                "order".into(),
+                "NVR cycles".into(),
+                "speedup vs InO".into(),
+            ]);
+            for c in &self.density {
+                t.row(vec![
+                    c.points.to_string(),
+                    format!("{:?}", c.order),
+                    c.nvr_cycles.to_string(),
+                    format!("{}x", fmt3(c.speedup)),
+                ]);
+            }
+            writeln!(f, "{t}")?;
+        }
         Ok(())
     }
 }
@@ -186,6 +303,21 @@ mod tests {
         let small = fig.cell(4, 256).expect("cell").perf;
         let big = fig.cell(16, 256).expect("cell").perf;
         assert!(big > small, "NSB 16 KB {big} should beat 4 KB {small}");
+    }
+
+    #[test]
+    fn density_sweep_speedups_positive() {
+        let cells = density_sweep_jobs(Scale::Tiny, 4, 2);
+        assert_eq!(cells.len(), DENSITY_POINTS.len() * 2);
+        for c in &cells {
+            assert!(
+                c.speedup >= 1.0,
+                "{} pts {:?}: NVR should not lose ({}x)",
+                c.points,
+                c.order,
+                c.speedup
+            );
+        }
     }
 
     #[test]

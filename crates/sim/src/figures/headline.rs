@@ -7,11 +7,11 @@
 use std::fmt;
 
 use nvr_common::DataWidth;
-use nvr_mem::MemoryConfig;
-use nvr_workloads::{Scale, WorkloadId, WorkloadSpec};
+use nvr_workloads::{Scale, WorkloadId};
 
 use crate::metrics::geometric_mean;
-use crate::runner::{run_system, SystemKind};
+use crate::runner::SystemKind;
+use crate::sweep::{run_sweep, SweepSpec};
 
 /// Recomputed headline aggregates.
 #[derive(Debug, Clone, Default)]
@@ -27,24 +27,44 @@ pub struct Headline {
     pub speedups: Vec<(&'static str, f64)>,
 }
 
-/// Recomputes the claims over a workload set.
+/// Recomputes the claims over a workload set, fanning the
+/// workloads x {InO, Stream, IMP, NVR} grid out over `jobs` workers.
 #[must_use]
-pub fn run_with_workloads(scale: Scale, seed: u64, workloads: &[WorkloadId]) -> Headline {
-    let mem_cfg = MemoryConfig::default();
+pub fn run_jobs_with_workloads(
+    scale: Scale,
+    seed: u64,
+    jobs: usize,
+    workloads: &[WorkloadId],
+) -> Headline {
+    let spec = SweepSpec {
+        workloads: workloads.to_vec(),
+        systems: vec![
+            SystemKind::InOrder,
+            SystemKind::Stream,
+            SystemKind::Imp,
+            SystemKind::Nvr,
+        ],
+        scales: vec![scale],
+        widths: vec![DataWidth::Fp16],
+        seeds: vec![seed],
+        ..SweepSpec::default()
+    };
+    let results = run_sweep(&spec, jobs);
+    let cell = |w, s| {
+        &results
+            .get(w, s, scale, DataWidth::Fp16, seed)
+            .expect("sweep covers the full grid")
+            .outcome
+    };
+
     let mut speedups = Vec::new();
     let mut miss_reductions = Vec::new();
     let mut offchip_reductions = Vec::new();
     for &w in workloads {
-        let spec = WorkloadSpec {
-            width: DataWidth::Fp16,
-            seed,
-            scale,
-        };
-        let program = w.build(&spec);
-        let ino = run_system(&program, &mem_cfg, SystemKind::InOrder);
-        let stream = run_system(&program, &mem_cfg, SystemKind::Stream);
-        let imp = run_system(&program, &mem_cfg, SystemKind::Imp);
-        let nvr = run_system(&program, &mem_cfg, SystemKind::Nvr);
+        let ino = cell(w, SystemKind::InOrder);
+        let stream = cell(w, SystemKind::Stream);
+        let imp = cell(w, SystemKind::Imp);
+        let nvr = cell(w, SystemKind::Nvr);
 
         speedups.push((
             w.short(),
@@ -84,10 +104,22 @@ pub fn run_with_workloads(scale: Scale, seed: u64, workloads: &[WorkloadId]) -> 
     }
 }
 
-/// Recomputes the claims over all eight workloads.
+/// Single-threaded variant of [`run_jobs_with_workloads`].
+#[must_use]
+pub fn run_with_workloads(scale: Scale, seed: u64, workloads: &[WorkloadId]) -> Headline {
+    run_jobs_with_workloads(scale, seed, 1, workloads)
+}
+
+/// Recomputes the claims over all eight workloads on `jobs` workers.
+#[must_use]
+pub fn run_jobs(scale: Scale, seed: u64, jobs: usize) -> Headline {
+    run_jobs_with_workloads(scale, seed, jobs, &WorkloadId::ALL)
+}
+
+/// Recomputes the claims over all eight workloads, single-threaded.
 #[must_use]
 pub fn run(scale: Scale, seed: u64) -> Headline {
-    run_with_workloads(scale, seed, &WorkloadId::ALL)
+    run_jobs(scale, seed, 1)
 }
 
 impl fmt::Display for Headline {

@@ -24,7 +24,9 @@ pub mod figures;
 pub mod metrics;
 pub mod report;
 pub mod runner;
+pub mod sweep;
 
-pub use metrics::{coverage, geometric_mean};
+pub use metrics::{coverage, geometric_mean, pollution};
 pub use report::Table;
 pub use runner::{run_system, RunOutcome, SystemKind};
+pub use sweep::{run_sweep, SweepJob, SweepResults, SweepSpec};

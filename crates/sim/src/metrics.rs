@@ -3,11 +3,18 @@
 /// Prefetch coverage: the fraction of baseline misses a prefetcher
 /// eliminated (`1 - with/without`), clamped to `[0, 1]`.
 ///
+/// The clamp is deliberate and part of this function's contract: coverage
+/// answers "how many of the baseline's misses went away", so a prefetcher
+/// that *adds* misses reads as 0 coverage here, never negative. Use
+/// [`pollution`] for the signed view — the clamp would otherwise hide a
+/// polluting prefetcher behind the same 0.0 an inert one gets.
+///
 /// # Examples
 ///
 /// ```
 /// assert_eq!(nvr_sim::coverage(100, 10), 0.9);
 /// assert_eq!(nvr_sim::coverage(0, 5), 0.0);
+/// assert_eq!(nvr_sim::coverage(100, 130), 0.0); // pollution clamped away
 /// ```
 #[must_use]
 pub fn coverage(baseline_misses: u64, with_prefetch_misses: u64) -> f64 {
@@ -15,6 +22,29 @@ pub fn coverage(baseline_misses: u64, with_prefetch_misses: u64) -> f64 {
         return 0.0;
     }
     (1.0 - with_prefetch_misses as f64 / baseline_misses as f64).clamp(0.0, 1.0)
+}
+
+/// Signed miss delta relative to the baseline: `with/without - 1`.
+///
+/// Positive values are pollution — the prefetcher's fills evicted useful
+/// lines and the run saw *more* demand misses than no prefetching at all
+/// (`0.3` = 30% extra misses). Negative values mirror [`coverage`]
+/// (`-0.9` = 90% of misses eliminated). Returns 0 when the baseline had
+/// no misses.
+///
+/// # Examples
+///
+/// ```
+/// assert!((nvr_sim::pollution(100, 130) - 0.3).abs() < 1e-12);
+/// assert!((nvr_sim::pollution(100, 10) + 0.9).abs() < 1e-12);
+/// assert_eq!(nvr_sim::pollution(0, 5), 0.0);
+/// ```
+#[must_use]
+pub fn pollution(baseline_misses: u64, with_prefetch_misses: u64) -> f64 {
+    if baseline_misses == 0 {
+        return 0.0;
+    }
+    with_prefetch_misses as f64 / baseline_misses as f64 - 1.0
 }
 
 /// Geometric mean of a slice of positive values (0 when empty).
@@ -48,6 +78,17 @@ mod tests {
         // Pollution can raise misses; coverage clamps at zero.
         assert_eq!(coverage(10, 15), 0.0);
         assert!((coverage(200, 50) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pollution_is_signed() {
+        assert!((pollution(10, 15) - 0.5).abs() < 1e-12);
+        assert!((pollution(10, 5) + 0.5).abs() < 1e-12);
+        assert_eq!(pollution(10, 10), 0.0);
+        assert_eq!(pollution(0, 10), 0.0);
+        // Where coverage clamps, pollution keeps the sign.
+        assert_eq!(coverage(10, 15), 0.0);
+        assert!(pollution(10, 15) > 0.0);
     }
 
     #[test]

@@ -43,6 +43,14 @@ impl SystemKind {
         SystemKind::Nvr,
     ];
 
+    /// Looks a system up by its paper label, case-insensitively.
+    #[must_use]
+    pub fn from_label(s: &str) -> Option<SystemKind> {
+        SystemKind::ALL
+            .into_iter()
+            .find(|k| k.label().eq_ignore_ascii_case(s))
+    }
+
     /// Display label matching the paper's legends.
     #[must_use]
     pub fn label(self) -> &'static str {

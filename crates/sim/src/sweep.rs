@@ -1,0 +1,396 @@
+//! Batched, parallel sweep running.
+//!
+//! The figure harnesses all reduce to the same shape of work: a grid of
+//! independent `run_system` calls over workloads x systems x scales x
+//! widths x seeds. This module names that shape ([`SweepSpec`] /
+//! [`SweepJob`]), fans it out over a fixed std-only thread pool
+//! ([`pool`]), and collects the outcomes into a keyed, timed
+//! [`SweepResults`] table. Jobs are fully self-contained (each builds its
+//! own program from the seed), so a sweep at `jobs = N` is bit-identical
+//! to `jobs = 1` — the precondition for trusting parallel regeneration.
+//!
+//! Figure drivers whose runs are not plain grid cells (custom programs,
+//! per-cell prefetcher configs) fan out through [`run_batch`] instead,
+//! which is the same ordered pool under arbitrary closures.
+//!
+//! # Examples
+//!
+//! ```
+//! use nvr_sim::sweep::{run_sweep, SweepSpec};
+//! use nvr_sim::SystemKind;
+//! use nvr_workloads::{Scale, WorkloadId};
+//!
+//! let spec = SweepSpec {
+//!     workloads: vec![WorkloadId::Ds],
+//!     systems: vec![SystemKind::InOrder, SystemKind::Nvr],
+//!     scales: vec![Scale::Tiny],
+//!     ..SweepSpec::default()
+//! };
+//! let results = run_sweep(&spec, 2);
+//! assert_eq!(results.cells.len(), 2);
+//! ```
+
+pub mod pool;
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+use nvr_common::DataWidth;
+use nvr_mem::MemoryConfig;
+use nvr_workloads::{Scale, WorkloadId, WorkloadSpec};
+
+use crate::report::{fmt3, Table};
+use crate::runner::{run_system, RunOutcome, SystemKind};
+
+/// Seed the experiment harnesses default to (kept in sync with
+/// `nvr_bench::EXPERIMENT_SEED`).
+pub const DEFAULT_SEED: u64 = 2025;
+
+/// The cartesian sweep specification: every combination of the five axes
+/// becomes one [`SweepJob`].
+#[derive(Debug, Clone)]
+pub struct SweepSpec {
+    /// Workload axis.
+    pub workloads: Vec<WorkloadId>,
+    /// System axis.
+    pub systems: Vec<SystemKind>,
+    /// Problem-size axis.
+    pub scales: Vec<Scale>,
+    /// Operand-width axis.
+    pub widths: Vec<DataWidth>,
+    /// RNG-seed axis (scenario diversity).
+    pub seeds: Vec<u64>,
+    /// Memory system shared by every cell.
+    pub mem_cfg: MemoryConfig,
+}
+
+impl Default for SweepSpec {
+    /// The full evaluation grid at one width, one seed, default scale.
+    fn default() -> Self {
+        SweepSpec {
+            workloads: WorkloadId::ALL.to_vec(),
+            systems: SystemKind::ALL.to_vec(),
+            scales: vec![Scale::Default],
+            widths: vec![DataWidth::Fp16],
+            seeds: vec![DEFAULT_SEED],
+            mem_cfg: MemoryConfig::default(),
+        }
+    }
+}
+
+impl SweepSpec {
+    /// Builds the cartesian product of the five axes, in deterministic
+    /// row-major order (workload outermost, seed innermost).
+    #[must_use]
+    pub fn jobs(&self) -> Vec<SweepJob> {
+        let mut out = Vec::with_capacity(
+            self.workloads.len()
+                * self.systems.len()
+                * self.scales.len()
+                * self.widths.len()
+                * self.seeds.len(),
+        );
+        for &workload in &self.workloads {
+            for &system in &self.systems {
+                for &scale in &self.scales {
+                    for &width in &self.widths {
+                        for &seed in &self.seeds {
+                            out.push(SweepJob {
+                                workload,
+                                system,
+                                scale,
+                                width,
+                                seed,
+                                mem_cfg: self.mem_cfg.clone(),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// One fully-specified cell of the sweep grid.
+#[derive(Debug, Clone)]
+pub struct SweepJob {
+    /// Workload to build.
+    pub workload: WorkloadId,
+    /// System to run it under.
+    pub system: SystemKind,
+    /// Problem size.
+    pub scale: Scale,
+    /// Operand width.
+    pub width: DataWidth,
+    /// Program seed.
+    pub seed: u64,
+    /// Memory system configuration.
+    pub mem_cfg: MemoryConfig,
+}
+
+impl SweepJob {
+    /// Stable lookup/reporting key, e.g. `DS/NVR/default/FP16/2025`.
+    #[must_use]
+    pub fn key(&self) -> String {
+        format!(
+            "{}/{}/{}/{}/{}",
+            self.workload.short(),
+            self.system.label(),
+            self.scale,
+            self.width,
+            self.seed
+        )
+    }
+
+    /// Runs the cell: builds the program from the seed and simulates it.
+    #[must_use]
+    pub fn run(&self) -> RunOutcome {
+        let spec = WorkloadSpec {
+            width: self.width,
+            seed: self.seed,
+            scale: self.scale,
+        };
+        let program = self.workload.build(&spec);
+        run_system(&program, &self.mem_cfg, self.system)
+    }
+}
+
+/// One finished cell: the job, its outcome, and how long it took on the
+/// wall clock (host-dependent; excluded from the deterministic outputs).
+#[derive(Debug, Clone)]
+pub struct SweepCell {
+    /// The job that ran.
+    pub job: SweepJob,
+    /// Its simulation outcome.
+    pub outcome: RunOutcome,
+    /// Host wall-clock time of the cell.
+    pub wall: Duration,
+}
+
+/// The keyed result table of one sweep.
+#[derive(Debug, Clone, Default)]
+pub struct SweepResults {
+    /// All cells, in the spec's deterministic job order.
+    pub cells: Vec<SweepCell>,
+    /// End-to-end wall clock of the whole sweep.
+    pub wall: Duration,
+}
+
+impl SweepResults {
+    /// Looks a cell up by its grid coordinates.
+    #[must_use]
+    pub fn get(
+        &self,
+        workload: WorkloadId,
+        system: SystemKind,
+        scale: Scale,
+        width: DataWidth,
+        seed: u64,
+    ) -> Option<&SweepCell> {
+        self.cells.iter().find(|c| {
+            c.job.workload == workload
+                && c.job.system == system
+                && c.job.scale == scale
+                && c.job.width == width
+                && c.job.seed == seed
+        })
+    }
+
+    /// Speedup of `system` over the in-order baseline of the same
+    /// (workload, scale, width, seed) cell, when both are in the table.
+    #[must_use]
+    pub fn speedup_vs_inorder(&self, cell: &SweepCell) -> Option<f64> {
+        let j = &cell.job;
+        let base = self.get(j.workload, SystemKind::InOrder, j.scale, j.width, j.seed)?;
+        Some(
+            base.outcome.result.total_cycles as f64
+                / cell.outcome.result.total_cycles.max(1) as f64,
+        )
+    }
+
+    /// Deterministic CSV of the numeric results (no wall-clock columns, so
+    /// `jobs = 1` and `jobs = N` emit identical bytes).
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "workload,system,scale,width,seed,cycles,base_cycles,\
+             l2_demand_misses,l2_demand_hits,dram_demand_lines,\
+             prefetch_issued,prefetch_useful\n",
+        );
+        for c in &self.cells {
+            let m = &c.outcome.result.mem;
+            out.push_str(&format!(
+                "{},{},{},{},{},{},{},{},{},{},{},{}\n",
+                c.job.workload.short(),
+                c.job.system.label(),
+                c.job.scale,
+                c.job.width,
+                c.job.seed,
+                c.outcome.result.total_cycles,
+                c.outcome.base_cycles,
+                m.l2.demand_misses.get(),
+                m.l2.demand_hits.get(),
+                m.dram.demand_lines.get(),
+                m.l2.prefetch_issued.get(),
+                m.l2.prefetch_useful.get(),
+            ));
+        }
+        out
+    }
+
+    /// Per-cell wall-clock CSV (host-dependent; keep out of diffs).
+    #[must_use]
+    pub fn timing_csv(&self) -> String {
+        let mut out = String::from("key,wall_us\n");
+        for c in &self.cells {
+            out.push_str(&format!("{},{}\n", c.job.key(), c.wall.as_micros()));
+        }
+        out.push_str(&format!("total,{}\n", self.wall.as_micros()));
+        out
+    }
+}
+
+impl fmt::Display for SweepResults {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Sweep — {} cells", self.cells.len())?;
+        let mut t = Table::new(vec![
+            "workload".into(),
+            "system".into(),
+            "scale".into(),
+            "width".into(),
+            "seed".into(),
+            "cycles".into(),
+            "stall".into(),
+            "l2 misses".into(),
+            "speedup".into(),
+        ]);
+        for c in &self.cells {
+            t.row(vec![
+                c.job.workload.short().into(),
+                c.job.system.label().into(),
+                c.job.scale.to_string(),
+                c.job.width.to_string(),
+                c.job.seed.to_string(),
+                c.outcome.result.total_cycles.to_string(),
+                c.outcome.stall_cycles().to_string(),
+                c.outcome.result.mem.l2.demand_misses.get().to_string(),
+                self.speedup_vs_inorder(c)
+                    .map_or_else(|| "-".into(), |s| format!("{}x", fmt3(s))),
+            ]);
+        }
+        write!(f, "{t}")
+    }
+}
+
+/// Runs every cell of `spec` over `jobs` workers.
+#[must_use]
+pub fn run_sweep(spec: &SweepSpec, jobs: usize) -> SweepResults {
+    let t0 = Instant::now();
+    let tasks: Vec<_> = spec
+        .jobs()
+        .into_iter()
+        .map(|job| {
+            move || {
+                let cell_t0 = Instant::now();
+                let outcome = job.run();
+                SweepCell {
+                    job,
+                    outcome,
+                    wall: cell_t0.elapsed(),
+                }
+            }
+        })
+        .collect();
+    let cells = pool::run_ordered(tasks, jobs);
+    SweepResults {
+        cells,
+        wall: t0.elapsed(),
+    }
+}
+
+/// Fans arbitrary independent simulation closures out over the pool,
+/// preserving submission order — the entry point for figure drivers whose
+/// runs are not plain grid cells.
+#[must_use]
+pub fn run_batch<T, F>(tasks: Vec<F>, jobs: usize) -> Vec<T>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    pool::run_ordered(tasks, jobs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_spec() -> SweepSpec {
+        SweepSpec {
+            workloads: vec![WorkloadId::Ds, WorkloadId::St],
+            systems: vec![SystemKind::InOrder, SystemKind::Nvr],
+            scales: vec![Scale::Tiny],
+            widths: vec![DataWidth::Int8],
+            seeds: vec![7],
+            ..SweepSpec::default()
+        }
+    }
+
+    #[test]
+    fn cartesian_product_order_and_keys() {
+        let spec = tiny_spec();
+        let jobs = spec.jobs();
+        assert_eq!(jobs.len(), 4);
+        let keys: Vec<String> = jobs.iter().map(SweepJob::key).collect();
+        assert_eq!(
+            keys,
+            [
+                "DS/InO/tiny/INT8/7",
+                "DS/NVR/tiny/INT8/7",
+                "ST/InO/tiny/INT8/7",
+                "ST/NVR/tiny/INT8/7",
+            ]
+        );
+    }
+
+    #[test]
+    fn sweep_collects_every_cell_and_speedups() {
+        let results = run_sweep(&tiny_spec(), 2);
+        assert_eq!(results.cells.len(), 4);
+        let nvr = results
+            .get(
+                WorkloadId::Ds,
+                SystemKind::Nvr,
+                Scale::Tiny,
+                DataWidth::Int8,
+                7,
+            )
+            .expect("cell present");
+        let speedup = results.speedup_vs_inorder(nvr).expect("baseline present");
+        assert!(speedup >= 1.0, "NVR should not lose to InO ({speedup})");
+        // The InO cell's own speedup is exactly 1.
+        let ino = results
+            .get(
+                WorkloadId::Ds,
+                SystemKind::InOrder,
+                Scale::Tiny,
+                DataWidth::Int8,
+                7,
+            )
+            .expect("cell present");
+        assert_eq!(results.speedup_vs_inorder(ino), Some(1.0));
+    }
+
+    #[test]
+    fn csv_is_numeric_only_and_stable() {
+        let spec = SweepSpec {
+            workloads: vec![WorkloadId::Ds],
+            systems: vec![SystemKind::InOrder],
+            ..tiny_spec()
+        };
+        let a = run_sweep(&spec, 1).to_csv();
+        let b = run_sweep(&spec, 4).to_csv();
+        assert_eq!(a, b, "jobs=1 and jobs=4 CSVs must be identical");
+        assert!(a.starts_with("workload,system,scale,width,seed,cycles"));
+    }
+}

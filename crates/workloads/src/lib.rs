@@ -42,6 +42,7 @@ pub mod switch_transformer;
 pub mod two_sided;
 
 pub use graph::Graph;
+pub use minkowski::{PointcloudParams, VoxelOrder};
 pub use spec::{Scale, WorkloadSpec};
 
 use nvr_trace::NpuProgram;
@@ -122,6 +123,14 @@ impl WorkloadId {
         }
     }
 
+    /// Looks a workload up by its short name, case-insensitively.
+    #[must_use]
+    pub fn from_short(s: &str) -> Option<WorkloadId> {
+        WorkloadId::ALL
+            .into_iter()
+            .find(|w| w.short().eq_ignore_ascii_case(s))
+    }
+
     /// Builds the workload's NPU program.
     #[must_use]
     pub fn build(self, spec: &WorkloadSpec) -> NpuProgram {
@@ -178,6 +187,18 @@ mod tests {
         let wide = WorkloadId::Ds.build(&WorkloadSpec::tiny(DataWidth::Int32, 1));
         let row = |p: &NpuProgram| p.tiles[0].gather.expect("DS gathers").func.row_bytes();
         assert_eq!(row(&wide), 4 * row(&narrow));
+    }
+
+    #[test]
+    fn short_name_lookup() {
+        for id in WorkloadId::ALL {
+            assert_eq!(WorkloadId::from_short(id.short()), Some(id));
+            assert_eq!(
+                WorkloadId::from_short(&id.short().to_ascii_lowercase()),
+                Some(id)
+            );
+        }
+        assert_eq!(WorkloadId::from_short("nope"), None);
     }
 
     #[test]

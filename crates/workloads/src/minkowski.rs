@@ -50,32 +50,107 @@ pub(crate) fn export_bucket_table(table: &VoxelHashTable, keys: &[VoxelKey]) -> 
 }
 
 /// How output voxels are enumerated.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub(crate) enum VoxelOrder {
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum VoxelOrder {
     /// Random sampling across the scene (scattered LiDAR-style scenes).
+    #[default]
     Random,
     /// Coordinate-sorted traversal (submanifold convolution order), which
     /// makes consecutive tiles share neighbourhoods.
     Sorted,
 }
 
+/// Tunable shape of a point-cloud kernel-map program — the density and
+/// traversal-order knobs the Fig. 9 sensitivity sweeps vary, plus the
+/// static geometry MK and SCN share.
+///
+/// # Examples
+///
+/// ```
+/// use nvr_workloads::minkowski::PointcloudParams;
+///
+/// let p = PointcloudParams::mk_default();
+/// assert!(p.occupancy() < 0.1, "MK scenes are sparse");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PointcloudParams {
+    /// Occupied voxels (feature rows) — with `extent`, the scene density.
+    pub points: usize,
+    /// Voxel grid extent per axis.
+    pub extent: u32,
+    /// Hash-table buckets.
+    pub buckets: usize,
+    /// Feature channels.
+    pub feat_dim: usize,
+    /// Tiles per tile factor.
+    pub tiles: usize,
+    /// Output-voxel enumeration order.
+    pub order: VoxelOrder,
+}
+
+impl PointcloudParams {
+    /// MK's evaluation shape (uniform scatter, ~3% occupancy).
+    #[must_use]
+    pub fn mk_default() -> Self {
+        PointcloudParams {
+            points: POINTS,
+            extent: EXTENT,
+            buckets: BUCKETS,
+            feat_dim: FEAT_DIM,
+            tiles: TILES,
+            order: VoxelOrder::Random,
+        }
+    }
+
+    /// Scene occupancy: occupied voxels over grid cells.
+    #[must_use]
+    pub fn occupancy(&self) -> f64 {
+        self.points as f64 / (u64::from(self.extent).pow(3)) as f64
+    }
+
+    /// The same shape at a different density (`points` scaled, geometry
+    /// fixed) — the Fig. 9 density axis.
+    #[must_use]
+    pub fn with_points(mut self, points: usize) -> Self {
+        self.points = points;
+        self
+    }
+
+    /// The same shape with a different traversal order — the Fig. 9
+    /// locality axis.
+    #[must_use]
+    pub fn with_order(mut self, order: VoxelOrder) -> Self {
+        self.order = order;
+        self
+    }
+}
+
+/// Builds an MK-style program with explicit density/order knobs: a
+/// uniformly scattered cloud of `params.points` voxels.
+#[must_use]
+pub fn build_with_params(spec: &WorkloadSpec, params: &PointcloudParams) -> NpuProgram {
+    let mut rng = Pcg32::seed_with_stream(spec.seed, 0x3141);
+    let (table, keys) =
+        VoxelHashTable::random(params.points, params.extent, params.buckets, &mut rng);
+    build_pointcloud("MK", spec, &table, &keys, params, &mut rng)
+}
+
 /// Builds a point-cloud kernel-map program from pre-generated voxels.
-#[allow(clippy::too_many_arguments)]
 pub(crate) fn build_pointcloud(
     name: &str,
     spec: &WorkloadSpec,
     table: &VoxelHashTable,
     keys: &[VoxelKey],
-    feat_dim: usize,
-    tiles: usize,
-    order: VoxelOrder,
+    params: &PointcloudParams,
     rng: &mut Pcg32,
 ) -> NpuProgram {
+    let feat_dim = params.feat_dim;
+    let order = params.order;
     let sa = spec.systolic();
     let row_bytes = feat_dim as u64 * spec.width.bytes();
     let offsets = kernel_offsets();
     let bucket_table = export_bucket_table(table, keys);
-    let n_tiles = tiles * spec.scale.tile_factor();
+    let n_tiles = params.tiles * spec.scale.tile_factor();
     let mut sorted_keys = keys.to_vec();
     sorted_keys.sort_unstable();
 
@@ -130,18 +205,7 @@ pub(crate) fn build_pointcloud(
 /// Builds the MK program (uniform voxel placement: sparse scenes).
 #[must_use]
 pub fn build(spec: &WorkloadSpec) -> NpuProgram {
-    let mut rng = Pcg32::seed_with_stream(spec.seed, 0x3141);
-    let (table, keys) = VoxelHashTable::random(POINTS, EXTENT, BUCKETS, &mut rng);
-    build_pointcloud(
-        "MK",
-        spec,
-        &table,
-        &keys,
-        FEAT_DIM,
-        TILES,
-        VoxelOrder::Random,
-        &mut rng,
-    )
+    build_with_params(spec, &PointcloudParams::mk_default())
 }
 
 #[cfg(test)]
@@ -171,6 +235,50 @@ mod tests {
                 assert!((slot as usize) < POINTS, "slot {slot} out of range");
             }
         }
+    }
+
+    #[test]
+    fn density_knob_raises_neighbour_yield() {
+        let spec = WorkloadSpec::tiny(DataWidth::Int8, 23);
+        let base = PointcloudParams::mk_default();
+        let sparse = build_with_params(&spec, &base.with_points(POINTS / 4));
+        let dense = build_with_params(&spec, &base.with_points(POINTS * 2));
+        let yield_of = |p: &NpuProgram| {
+            let s = p.stats();
+            s.gather_elems as f64 / s.tiles as f64
+        };
+        assert!(
+            yield_of(&dense) > yield_of(&sparse),
+            "denser scene {} should out-yield sparser {}",
+            yield_of(&dense),
+            yield_of(&sparse)
+        );
+    }
+
+    #[test]
+    fn sorted_order_raises_reuse() {
+        let spec = WorkloadSpec::tiny(DataWidth::Int8, 24);
+        let base = PointcloudParams::mk_default();
+        let repeats_of = |p: &NpuProgram| {
+            let mut seen = std::collections::BTreeSet::new();
+            let mut repeats = 0usize;
+            for t in &p.tiles {
+                for v in t.index_values(&p.image) {
+                    if !seen.insert(v) {
+                        repeats += 1;
+                    }
+                }
+            }
+            repeats
+        };
+        let random = build_with_params(&spec, &base);
+        let sorted = build_with_params(&spec, &base.with_order(VoxelOrder::Sorted));
+        assert!(
+            repeats_of(&sorted) >= repeats_of(&random),
+            "sorted traversal should not lose reuse ({} vs {})",
+            repeats_of(&sorted),
+            repeats_of(&random)
+        );
     }
 
     #[test]

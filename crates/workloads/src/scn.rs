@@ -10,7 +10,7 @@ use nvr_common::Pcg32;
 use nvr_sparse::{VoxelHashTable, VoxelKey};
 use nvr_trace::NpuProgram;
 
-use crate::minkowski::{build_pointcloud, VoxelOrder};
+use crate::minkowski::{build_pointcloud, PointcloudParams, VoxelOrder};
 use crate::spec::WorkloadSpec;
 
 /// Occupied voxels.
@@ -62,16 +62,15 @@ fn clustered_cloud(rng: &mut Pcg32) -> (VoxelHashTable, Vec<VoxelKey>) {
 pub fn build(spec: &WorkloadSpec) -> NpuProgram {
     let mut rng = Pcg32::seed_with_stream(spec.seed, 0x5C2);
     let (table, keys) = clustered_cloud(&mut rng);
-    build_pointcloud(
-        "SCN",
-        spec,
-        &table,
-        &keys,
-        FEAT_DIM,
-        TILES,
-        VoxelOrder::Sorted,
-        &mut rng,
-    )
+    let params = PointcloudParams {
+        points: POINTS,
+        extent: EXTENT,
+        buckets: BUCKETS,
+        feat_dim: FEAT_DIM,
+        tiles: TILES,
+        order: VoxelOrder::Sorted,
+    };
+    build_pointcloud("SCN", spec, &table, &keys, &params, &mut rng)
 }
 
 #[cfg(test)]

@@ -12,22 +12,55 @@ pub const TABLE_BASE: Addr = Addr::new(0x2000_0000);
 pub const IA_BASE: Addr = Addr::new(0x10_0000_0000);
 
 /// Problem size class.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Scale {
     /// Unit-test size: seconds of simulation across all prefetchers.
     Tiny,
     /// Evaluation size used by the figure harnesses.
     #[default]
     Default,
+    /// Stress size for the parallel sweep runner: long enough per cell
+    /// that fan-out wins, too slow for the single-threaded harnesses.
+    Large,
 }
 
 impl Scale {
+    /// All scales, smallest first.
+    pub const ALL: [Scale; 3] = [Scale::Tiny, Scale::Default, Scale::Large];
+
     /// Multiplier applied to tile counts.
     #[must_use]
     pub fn tile_factor(self) -> usize {
         match self {
             Scale::Tiny => 1,
             Scale::Default => 4,
+            Scale::Large => 16,
+        }
+    }
+}
+
+impl std::fmt::Display for Scale {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Scale::Tiny => "tiny",
+            Scale::Default => "default",
+            Scale::Large => "large",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::str::FromStr for Scale {
+    type Err = nvr_common::NvrError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "tiny" => Ok(Scale::Tiny),
+            "default" => Ok(Scale::Default),
+            "large" => Ok(Scale::Large),
+            other => Err(nvr_common::NvrError::Parse(format!(
+                "unknown scale `{other}` (expected tiny|default|large)"
+            ))),
         }
     }
 }
@@ -202,5 +235,15 @@ mod tests {
     fn scale_factors() {
         assert_eq!(Scale::Tiny.tile_factor(), 1);
         assert_eq!(Scale::Default.tile_factor(), 4);
+        assert_eq!(Scale::Large.tile_factor(), 16);
+    }
+
+    #[test]
+    fn scale_parse_roundtrip() {
+        for s in Scale::ALL {
+            let parsed: Scale = s.to_string().parse().expect("roundtrip");
+            assert_eq!(parsed, s);
+        }
+        assert!("huge".parse::<Scale>().is_err());
     }
 }

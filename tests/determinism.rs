@@ -58,3 +58,54 @@ fn width_changes_timing_not_structure() {
     };
     assert!(cycles(DataWidth::Int32) > cycles(DataWidth::Int8));
 }
+
+#[test]
+fn parallel_sweep_matches_serial_bit_for_bit() {
+    // The sweep runner must be a pure parallelisation: fanning the grid
+    // out over 4 workers may not change a single counter relative to the
+    // single-threaded run of the same spec.
+    let spec = SweepSpec {
+        workloads: vec![WorkloadId::Ds, WorkloadId::Mk, WorkloadId::Gat],
+        systems: vec![SystemKind::InOrder, SystemKind::Nvr],
+        scales: vec![Scale::Tiny],
+        widths: vec![DataWidth::Fp16],
+        seeds: vec![777, 778],
+        ..SweepSpec::default()
+    };
+    let serial = run_sweep(&spec, 1);
+    let parallel = run_sweep(&spec, 4);
+    assert_eq!(serial.cells.len(), parallel.cells.len());
+    for (a, b) in serial.cells.iter().zip(&parallel.cells) {
+        assert_eq!(a.job.key(), b.job.key(), "job order must be stable");
+        assert_eq!(
+            a.outcome.result.total_cycles,
+            b.outcome.result.total_cycles,
+            "{}: cycles differ across worker counts",
+            a.job.key()
+        );
+        assert_eq!(
+            a.outcome.base_cycles,
+            b.outcome.base_cycles,
+            "{}: base cycles differ",
+            a.job.key()
+        );
+        assert_eq!(
+            (
+                a.outcome.result.gather_element_misses,
+                a.outcome.result.mem.l2.demand_misses.get(),
+                a.outcome.result.mem.l2.prefetch_issued.get(),
+                a.outcome.result.mem.dram.demand_lines.get(),
+            ),
+            (
+                b.outcome.result.gather_element_misses,
+                b.outcome.result.mem.l2.demand_misses.get(),
+                b.outcome.result.mem.l2.prefetch_issued.get(),
+                b.outcome.result.mem.dram.demand_lines.get(),
+            ),
+            "{}: memory counters differ across worker counts",
+            a.job.key()
+        );
+    }
+    // And the canonical CSV renditions are byte-identical.
+    assert_eq!(serial.to_csv(), parallel.to_csv());
+}

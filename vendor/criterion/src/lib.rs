@@ -5,8 +5,8 @@
 //! surface the `crates/bench/benches/*` files use — `Criterion::default()
 //! .sample_size(n)`, `bench_function`, `benchmark_group`, `Bencher::iter`,
 //! and the `criterion_group!`/`criterion_main!` macros — and reports
-//! mean wall-clock time per iteration on stdout instead of criterion's
-//! statistical analysis/HTML output.
+//! mean/p50/p95 wall-clock time per iteration on stdout instead of
+//! criterion's full statistical analysis/HTML output.
 
 use std::time::{Duration, Instant};
 
@@ -88,22 +88,39 @@ impl Bencher {
     }
 }
 
+/// Nearest-rank percentile of an ascending-sorted sample set.
+fn percentile(sorted: &[u128], pct: usize) -> u128 {
+    debug_assert!(!sorted.is_empty());
+    let rank = (pct * sorted.len()).div_ceil(100);
+    sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
+}
+
 fn run_bench<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, mut f: F) {
-    // One warm-up pass, then `sample_size` timed iterations in a single
-    // batch — enough for a smoke-level "did it regress by 10x" signal.
+    // One warm-up pass, then `sample_size` individually timed samples so
+    // the report carries tail statistics (p50/p95) alongside the mean —
+    // a regression that only shows as jitter is invisible to a mean.
     let mut warmup = Bencher {
         iterations: 1,
         elapsed: Duration::ZERO,
     };
     f(&mut warmup);
 
-    let mut bencher = Bencher {
-        iterations: sample_size as u64,
-        elapsed: Duration::ZERO,
-    };
-    f(&mut bencher);
-    let per_iter = bencher.elapsed.as_nanos() / u128::from(bencher.iterations.max(1));
-    println!("bench {label:<40} {per_iter:>12} ns/iter ({sample_size} iters)");
+    let mut samples: Vec<u128> = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size {
+        let mut bencher = Bencher {
+            iterations: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        samples.push(bencher.elapsed.as_nanos());
+    }
+    samples.sort_unstable();
+    let mean = samples.iter().sum::<u128>() / samples.len() as u128;
+    let p50 = percentile(&samples, 50);
+    let p95 = percentile(&samples, 95);
+    println!(
+        "bench {label:<40} mean {mean:>12} ns/iter  p50 {p50:>12}  p95 {p95:>12} ({sample_size} samples)"
+    );
 }
 
 #[macro_export]
@@ -135,6 +152,17 @@ macro_rules! criterion_main {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let s: Vec<u128> = (1..=100).collect();
+        assert_eq!(percentile(&s, 50), 50);
+        assert_eq!(percentile(&s, 95), 95);
+        assert_eq!(percentile(&s, 100), 100);
+        assert_eq!(percentile(&[42], 50), 42);
+        assert_eq!(percentile(&[42], 95), 42);
+        assert_eq!(percentile(&[7, 9], 95), 9);
+    }
 
     fn trivial(c: &mut Criterion) {
         let mut g = c.benchmark_group("stub");
