@@ -1,0 +1,13 @@
+//! Regenerates Fig. 6b′ — the prefetch-timeliness breakdown: measured
+//! timely / late / evicted-unused outcomes and the issue→use slack
+//! histogram, for the pipelined cross-tile lookahead vs its
+//! single-window (`lookahead_tiles = 1`) baseline. `--jobs N`
+//! parallelises.
+use nvr_bench::{experiment_scale, jobs_from_args, EXPERIMENT_SEED};
+
+fn main() {
+    println!(
+        "{}",
+        nvr_sim::figures::fig6b::run_jobs(experiment_scale(), EXPERIMENT_SEED, jobs_from_args())
+    );
+}

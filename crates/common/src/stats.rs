@@ -226,6 +226,31 @@ impl Histogram {
         }
     }
 
+    /// The raw bucket counts; `buckets()[i]` counts samples in
+    /// `[2^(i-1), 2^i)` for `i` in `1..31` (bucket 0 holds exact zeros;
+    /// bucket 31 is open-ended — it clamps every sample `>= 2^30`).
+    #[inline]
+    #[must_use]
+    pub const fn buckets(&self) -> &[u64; 32] {
+        &self.buckets
+    }
+
+    /// The non-empty buckets as `(low, high, count)` ranges, low edge
+    /// inclusive and high edge exclusive — the compact form reports
+    /// render. The final clamp bucket is open-ended, reported with
+    /// `high == u64::MAX`.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| match i {
+                0 => (0, 1, c),
+                31 => (1u64 << 30, u64::MAX, c),
+                _ => (1u64 << (i - 1), 1u64 << i, c),
+            })
+    }
+
     /// Merges another histogram into this one.
     pub fn merge(&mut self, other: &Histogram) {
         for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
@@ -308,6 +333,17 @@ mod tests {
         assert_eq!(a.count(), 3);
         assert_eq!(a.max(), 1_000_000);
         assert_eq!(a.sum(), 1_000_105);
+    }
+
+    #[test]
+    fn histogram_bucket_ranges() {
+        let mut h = Histogram::new();
+        h.record(0);
+        h.record(1);
+        h.record(3);
+        let b: Vec<_> = h.nonzero_buckets().collect();
+        assert_eq!(b, vec![(0, 1, 1), (1, 2, 1), (2, 4, 1)]);
+        assert_eq!(h.buckets().iter().sum::<u64>(), 3);
     }
 
     #[test]

@@ -17,6 +17,11 @@ pub enum TriggerPolicy {
 
 /// Tuning knobs of the NVR prefetcher.
 ///
+/// Every knob names its paper counterpart and the rationale for its
+/// default; the defaults reproduce the paper's Table I configuration as
+/// calibrated by this repo's headline run (`cargo run -p nvr_bench --bin
+/// headline`).
+///
 /// # Examples
 ///
 /// ```
@@ -30,31 +35,73 @@ pub enum TriggerPolicy {
 #[derive(Debug, Clone, PartialEq)]
 pub struct NvrConfig {
     /// Parallel entries N — the vector processing width (Table I, N=16).
+    ///
+    /// One PIE group resolves `vector_width` index elements per cycle, and
+    /// the depth bound falls back to this granularity, so it is the quantum
+    /// of all speculative progress. Default 16 = the paper's N.
     pub vector_width: usize,
     /// Line capacity of one VIGU vector operation (§IV-F). Each of the N
     /// PIE lanes resolves one gather target per cycle, and a target row may
     /// straddle a line boundary, so the issued vector carries up to
     /// `2 * vector_width` line addresses. Collapsing this to N lines (the
     /// pre-calibration value) throttles VMIG drain on multi-line rows and
-    /// under-reports the paper's miss coverage.
+    /// under-reports the paper's miss coverage. Default 32 = `2 * 16`.
     pub vmig_batch_lines: usize,
-    /// Cache-line budget of outstanding speculative coverage: runahead may
-    /// keep at most this many prefetched-but-unconsumed lines ahead of the
-    /// ROB head. Expressed in lines (not tiles) so the depth adapts to row
-    /// width — fat rows get shallow lookahead (less L2 thrash), thin rows
-    /// get deep lookahead (more latency hiding).
+    /// Cache-line budget of outstanding *target* coverage: a speculative
+    /// window may start resolving (and so issuing target prefetches) only
+    /// while its start is within this many lines of the NPU's consumption
+    /// pointer. Expressed in lines (not elements) so the reach adapts to
+    /// row width — fat rows get shallow lookahead (less L2 thrash), thin
+    /// rows get deep lookahead (more latency hiding). Maps to the paper's
+    /// fixed speculative-MSHR/NSB capacity budget (§IV-F/G). Default 256
+    /// lines = 16 KiB of 64 B lines, the NSB capacity of Table I.
     pub lookahead_lines: usize,
+    /// Maximum speculative windows the controller keeps in flight at once
+    /// — the cross-tile lookahead depth of the pipelined front-end (§III's
+    /// decoupled runahead thread, which keeps speculating across tile
+    /// boundaries instead of parking at each window edge). Only the
+    /// *index-fetch* side runs this deep (opening a window costs a
+    /// handful of sequential line fetches); target resolution stays
+    /// paced by [`NvrConfig::lookahead_lines`]. Depth 1 degenerates to
+    /// the pre-pipelining one-window-at-a-time episode loop (the `fig6b`
+    /// driver uses exactly that as its baseline). Default 4: deep enough
+    /// to cover a DRAM round trip of index-fetch latency on every
+    /// measured workload; 8 and 16 measure no better, and the usefulness
+    /// throttle below handles the workloads that cannot absorb even 4.
+    pub lookahead_tiles: usize,
+    /// DARE-style usefulness throttle: when the rolling ratio of
+    /// evicted-unused prefetches (measured by [`crate::LifetimeTracker`]
+    /// over the last [`NvrConfig::throttle_window`] resolved prefetches)
+    /// crosses this threshold, the effective lookahead depth collapses
+    /// back to 1, recovering as the ratio drops. Filters lookahead by
+    /// *observed* usefulness rather than window extent — deep lookahead
+    /// where it pays, shallow where it pollutes. Must lie in `(0, 1]`;
+    /// 1.0 never throttles. Default 0.1: a rolling window where more
+    /// than one prefetch in ten is evicted untouched means the pipeline
+    /// is churning the L2 (GCN-class turnover) and pipelined opens stop
+    /// paying for themselves.
+    pub throttle_evicted_ratio: f64,
+    /// Resolved-prefetch capacity of the throttle's rolling window.
+    /// Smaller reacts faster but jitters; larger smooths phase changes
+    /// away. Default 128 = half the default line budget, so a fully
+    /// wasted window is noticed within one lookahead depth's worth of
+    /// outcomes.
+    pub throttle_window: usize,
     /// Fuzzy-range factor applied to predicted windows (§III,
     /// coverage-oriented philosophy): >1 over-fetches slightly to secure
-    /// whole batches at the cost of some redundancy.
+    /// whole batches at the cost of some redundancy. Valid in
+    /// `[1.0, 2.0]`; default 1.1 = the paper's 10% over-fetch posture.
     pub fuzzy_factor: f64,
-    /// Whether the Loop Bound Detector clips predicted windows (ablation:
-    /// without it, NVR overruns like a fixed-distance runahead).
+    /// Whether the Loop Bound Detector clips predicted windows (§IV-E;
+    /// ablation: without it, NVR overruns like a fixed-distance runahead).
+    /// Default true — the SST is core to the paper's design.
     pub use_lbd: bool,
-    /// Whether prefetches also fill the NSB (only meaningful when the
-    /// memory system has one).
+    /// Whether prefetches also fill the NSB (§IV-G; only meaningful when
+    /// the memory system has one). Default false; [`NvrConfig::with_nsb`]
+    /// enables it.
     pub fill_nsb: bool,
-    /// Runahead entry policy.
+    /// Runahead entry policy (§III Q&A1). Default
+    /// [`TriggerPolicy::OnLoad`], the paper's proactive design.
     pub trigger: TriggerPolicy,
 }
 
@@ -72,18 +119,29 @@ impl NvrConfig {
     ///
     /// # Errors
     ///
-    /// Returns [`NvrError::Config`] if a knob is zero or the fuzzy factor is
-    /// not in `[1.0, 2.0]`.
+    /// Returns [`NvrError::Config`] if a knob is zero, the fuzzy factor is
+    /// not in `[1.0, 2.0]`, or the throttle threshold is not in `(0, 1]`.
     pub fn validate(&self) -> Result<(), NvrError> {
         if self.vector_width == 0 || self.lookahead_lines == 0 || self.vmig_batch_lines == 0 {
             return Err(NvrError::Config(
                 "NVR vector width, VMIG batch and lookahead budget must be non-zero".into(),
             ));
         }
+        if self.lookahead_tiles == 0 || self.throttle_window == 0 {
+            return Err(NvrError::Config(
+                "NVR lookahead depth and throttle window must be non-zero".into(),
+            ));
+        }
         if !(1.0..=2.0).contains(&self.fuzzy_factor) {
             return Err(NvrError::Config(format!(
                 "fuzzy factor {} outside [1.0, 2.0]",
                 self.fuzzy_factor
+            )));
+        }
+        if !(self.throttle_evicted_ratio > 0.0 && self.throttle_evicted_ratio <= 1.0) {
+            return Err(NvrError::Config(format!(
+                "throttle ratio {} outside (0, 1]",
+                self.throttle_evicted_ratio
             )));
         }
         Ok(())
@@ -96,6 +154,9 @@ impl Default for NvrConfig {
             vector_width: 16,
             vmig_batch_lines: 32,
             lookahead_lines: 256,
+            lookahead_tiles: 4,
+            throttle_evicted_ratio: 0.1,
+            throttle_window: 128,
             fuzzy_factor: 1.1,
             use_lbd: true,
             fill_nsb: false,
@@ -139,6 +200,26 @@ mod tests {
         assert!(bad.validate().is_err());
         let bad = NvrConfig {
             fuzzy_factor: 0.5,
+            ..NvrConfig::default()
+        };
+        assert!(bad.validate().is_err());
+        let bad = NvrConfig {
+            lookahead_tiles: 0,
+            ..NvrConfig::default()
+        };
+        assert!(bad.validate().is_err());
+        let bad = NvrConfig {
+            throttle_window: 0,
+            ..NvrConfig::default()
+        };
+        assert!(bad.validate().is_err());
+        let bad = NvrConfig {
+            throttle_evicted_ratio: 0.0,
+            ..NvrConfig::default()
+        };
+        assert!(bad.validate().is_err());
+        let bad = NvrConfig {
+            throttle_evicted_ratio: 1.5,
             ..NvrConfig::default()
         };
         assert!(bad.validate().is_err());

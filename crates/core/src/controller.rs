@@ -1,39 +1,80 @@
-//! The NVR controller: runahead orchestration (§III, §IV-A/C).
+//! The NVR controller: pipelined cross-tile runahead orchestration
+//! (§III, §IV-A/C).
 //!
 //! The controller monitors CPU and NPU state via the snoopers and, whenever
-//! an NPU load is in flight and the sparse-operators unit is idle, advances
-//! a speculative *runahead pointer* over future tiles:
+//! the sparse-operators unit is idle, runs a *pipelined lookahead engine*
+//! over future tiles: up to [`NvrConfig::lookahead_tiles`] speculative
+//! windows are in flight at once, each stepping through the phases
 //!
 //! 1. **window prediction** — exact bounds for the tile at the ROB head
 //!    (sparse-unit registers); LBD-chained predictions beyond it;
-//! 2. **index fetch** — the window's index lines are prefetched (SD-guided
-//!    stream loads) and the runahead thread waits for their fills — this is
-//!    real speculative execution, never oracle access;
-//! 3. **chain resolution** — the PIE evaluates `sparse_func` on the fetched
-//!    index values, `vector_width` lanes per cycle, scheduling intermediate
-//!    table probes for two-level chains;
-//! 4. **vector issue** — resolved target lines drain through the VMIG as
-//!    one vectorised prefetch per cycle, filling L2 (and the NSB when
-//!    configured).
+//! 2. **index fetch** (`FetchIndex`) — the window's index lines are
+//!    prefetched (SD-guided stream loads) the moment the window opens, and
+//!    the window then waits for the fills — real speculative execution,
+//!    never oracle access;
+//! 3. **chain resolution** (`Resolve`) — the PIE evaluates `sparse_func`
+//!    on the fetched index values, `vector_width` lanes per cycle,
+//!    scheduling intermediate table probes for two-level chains
+//!    (`ProbeWait`);
+//! 4. **vector issue** — resolved target lines drain through the VMIG,
+//!    which accumulates a full vector ([`NvrConfig::vmig_batch_lines`]
+//!    lines) while resolution is flowing and flushes whenever the thread
+//!    blocks or runs dry, filling L2 (and the NSB when configured).
+//!
+//! The pipeline decouples the phases *across* windows, with the two sides
+//! of a window's life held to different leashes:
+//!
+//! * **Index side, deep.** The next window opens — and its index lines
+//!   issue — as soon as the previous window's index lines have been
+//!   **issued**, not resolved, up to [`NvrConfig::lookahead_tiles`]
+//!   windows of reach past the consumer. Opening costs only a handful of
+//!   sequential line fetches, and those fetches drain through the VIGU
+//!   queue behind the current window's targets instead of bursting onto
+//!   the DRAM channel (a same-cycle burst of a window's worth of index
+//!   lines used to queue in front of in-flight target fills and turn
+//!   them late). While window *k* waits for its fills, windows
+//!   *k+1..k+d* are already in flight.
+//! * **Target side, shallow.** A fetched window may enter `Resolve` only
+//!   once its start is within one [`NvrConfig::lookahead_lines`] budget
+//!   of the NPU's consumption pointer, so the expensive, cache-filling
+//!   target stream trickles just ahead of demand instead of flooding the
+//!   L2 the moment a window opens.
+//!
+//! This closes the dead gaps at tile boundaries that the
+//! one-window-at-a-time episode loop left: prefetches for tile *t+1*
+//! used to start only after tile *t* fully resolved, arriving late
+//! (`prefetch_late`) on bandwidth-hungry workloads like GCN and GSA-BT.
+//!
+//! The lookahead is kept honest by a DARE-style usefulness throttle fed
+//! by measured per-prefetch lifetimes (issue, first use, unused eviction
+//! — see [`crate::lifetime`]): when the rolling evicted-unused ratio
+//! crosses [`NvrConfig::throttle_evicted_ratio`], the effective depth
+//! collapses to a single window until the speculation is being consumed
+//! again, and once *any* waste has been observed, oversized window
+//! predictions are chunked down to the reach budget so the speculative
+//! footprint stays inside what the L2 demonstrably holds until use.
 //!
 //! All work is paced by an internal clock that only moves inside the
 //! `[from, to)` windows the engine grants — idle periods of the sparse
 //! unit — so NVR's speculation consumes exactly the slack resources the
 //! paper claims (§III Q&A3).
 
+use std::collections::VecDeque;
+
 use nvr_common::{Addr, Cycle};
 use nvr_mem::MemorySystem;
-use nvr_prefetch::Prefetcher;
+use nvr_prefetch::{Prefetcher, TimelinessReport};
 use nvr_trace::event::PC_INDEX_LOAD;
 use nvr_trace::{AccessEvent, EventKind, MemoryImage, SnoopState};
 
 use crate::config::{NvrConfig, TriggerPolicy};
+use crate::lifetime::LifetimeTracker;
 use crate::loop_bound::{LoopBoundDetector, Window};
 use crate::sparse_chain::SparseChainDetector;
 use crate::stride_detector::StrideDetector;
 use crate::vmig::Vmig;
 
-/// Progress of the runahead thread within one speculative tile.
+/// Progress of one speculative window in the lookahead pipeline.
 #[derive(Debug, Clone)]
 enum Phase {
     /// Index lines prefetched; waiting until `ready` before reading values.
@@ -49,18 +90,27 @@ enum Phase {
     },
 }
 
+/// One in-flight speculative window.
 #[derive(Debug, Clone)]
 struct Runahead {
     phase: Phase,
 }
 
 impl Runahead {
-    /// The element window this episode covers.
+    /// The element window this entry covers.
     fn window(&self) -> Window {
         match self.phase {
             Phase::FetchIndex { window, .. }
             | Phase::Resolve { window, .. }
             | Phase::ProbeWait { window, .. } => window,
+        }
+    }
+
+    /// The cycle this window is waiting for, if it is blocked on a fill.
+    fn blocked_until(&self) -> Option<Cycle> {
+        match self.phase {
+            Phase::FetchIndex { ready, .. } | Phase::ProbeWait { ready, .. } => Some(ready),
+            Phase::Resolve { .. } => None,
         }
     }
 }
@@ -94,8 +144,13 @@ pub struct NvrPrefetcher {
     lbd: LoopBoundDetector,
     scd: SparseChainDetector,
     vmig: Vmig,
+    lifetime: LifetimeTracker,
     clock: Cycle,
-    state: Option<Runahead>,
+    /// In-flight speculative windows, oldest first (the lookahead
+    /// pipeline). Capacity is the throttled effective depth.
+    windows: VecDeque<Runahead>,
+    /// Whether the memory system's prefetch lifetime log has been enabled.
+    life_log_on: bool,
     current_tile: usize,
     miss_seen_in_tile: bool,
     /// Monotone element-space cursor: everything below it has either been
@@ -119,8 +174,10 @@ impl NvrPrefetcher {
             lbd: LoopBoundDetector::new(cfg.fuzzy_factor),
             scd: SparseChainDetector::new(),
             vmig: Vmig::new(cfg.vmig_batch_lines),
+            lifetime: LifetimeTracker::new(cfg.throttle_window),
             clock: 0,
-            state: None,
+            windows: VecDeque::with_capacity(cfg.lookahead_tiles),
+            life_log_on: false,
             current_tile: 0,
             miss_seen_in_tile: false,
             covered_until: 0,
@@ -134,17 +191,53 @@ impl NvrPrefetcher {
         &self.vmig
     }
 
-    /// Whether the runahead thread is mid-tile (for tests).
+    /// Whether any speculative window is in flight (for tests).
     #[must_use]
     pub fn in_runahead(&self) -> bool {
-        self.state.is_some()
+        !self.windows.is_empty()
     }
 
-    /// Opens the next speculative window at the coverage cursor, bounded
-    /// in element space by the lookahead line budget and clipped at the
-    /// kernel's estimated end (LBD) so fixed-distance overrun cannot
-    /// happen.
-    fn try_start(&mut self, snoop: &SnoopState) -> bool {
+    /// The current lookahead depth after the usefulness throttle: the
+    /// configured [`NvrConfig::lookahead_tiles`] while the rolling
+    /// evicted-unused ratio stays below
+    /// [`NvrConfig::throttle_evicted_ratio`]; 1 (the single-window
+    /// episode loop) once it crosses — DARE-style filtering by observed
+    /// usefulness rather than window extent.
+    #[must_use]
+    pub fn effective_depth(&self) -> usize {
+        let d = self.cfg.lookahead_tiles;
+        if d > 1
+            && self.lifetime.warmed_up()
+            && self.lifetime.rolling_wasted_ratio() > self.cfg.throttle_evicted_ratio
+        {
+            1
+        } else {
+            d
+        }
+    }
+
+    /// Element-space lookahead bound: how far past the NPU's consumption
+    /// pointer the next window may start — the line budget in elements,
+    /// so the reach adapts to row width (fat rows get shallow lookahead,
+    /// thin rows deep). This is deliberately *not* scaled by the pipeline
+    /// depth: the pipeline parallelises windows inside this fixed budget
+    /// (overlapping their index fetches and resolution), it does not
+    /// extend the speculative footprint — extending it floods the L2 and
+    /// the DRAM channel on turnover-heavy workloads (GCN, MK) faster than
+    /// any throttle can react.
+    fn max_ahead_elems(&self) -> u64 {
+        let row_lines = self.scd.entry().map_or(1, |e| {
+            nvr_common::div_ceil(e.row_bytes, nvr_common::LINE_BYTES).max(1)
+        });
+        (self.cfg.lookahead_lines as u64 / row_lines).max(self.cfg.vector_width as u64)
+    }
+
+    /// Opens the next speculative window at the coverage cursor — issuing
+    /// its index-line fetch immediately — bounded in element space by the
+    /// lookahead line budget scaled to the effective pipeline depth, and
+    /// clipped at the kernel's estimated end (LBD) so fixed-distance
+    /// overrun cannot happen.
+    fn try_start(&mut self, snoop: &SnoopState, mem: &mut MemorySystem) -> bool {
         let len = if self.cfg.use_lbd {
             self.lbd.predicted_len()
         } else {
@@ -154,15 +247,13 @@ impl NvrPrefetcher {
             return false;
         }
         let start = self.covered_until;
-        // Depth bound: the line budget divided by the chain's row width
-        // gives how many elements of coverage may be outstanding past the
-        // NPU's consumption pointer.
-        let row_lines = self.scd.entry().map_or(1, |e| {
-            nvr_common::div_ceil(e.row_bytes, nvr_common::LINE_BYTES).max(1)
-        });
-        let max_ahead =
-            (self.cfg.lookahead_lines as u64 / row_lines).max(self.cfg.vector_width as u64);
-        if start >= snoop.elem_consumed + max_ahead {
+        let max_ahead = self.max_ahead_elems();
+        // Opening a window costs only its index-line fetch (a handful of
+        // sequential lines), so the *open* bound reaches `lookahead_tiles`
+        // windows of budget ahead; the FetchIndex -> Resolve transition is
+        // gated separately on the one-budget reach below, which is what
+        // actually paces the (expensive, cache-filling) target stream.
+        if start >= snoop.elem_consumed + max_ahead * self.effective_depth() as u64 {
             #[cfg(feature = "nvr-debug")]
             eprintln!(
                 "NVR bound: start={} consumed={} max_ahead={}",
@@ -170,6 +261,23 @@ impl NvrPrefetcher {
             );
             return false;
         }
+        // Adaptive chunking: once the lifetime log has seen *any* of our
+        // speculation evicted unused, oversized predictions are cut down
+        // to the reach budget, so the pipeline (small windows overlapping
+        // index fetch and resolution) is the unit of lookahead and the
+        // speculative footprint stays inside what the L2 demonstrably
+        // holds until use (GCN's turnover). While the waste ratio is
+        // exactly zero, predictions keep their natural size — the
+        // overshoot past the budget is whole-batch coverage that a chunk
+        // boundary would forfeit for free (GSA-BT's block tails).
+        let len = if len > max_ahead
+            && self.lifetime.warmed_up()
+            && self.lifetime.rolling_wasted_ratio() > 0.0
+        {
+            max_ahead.max(self.cfg.vector_width as u64)
+        } else {
+            len
+        };
         let mut end = start + len;
         if self.cfg.use_lbd {
             if let Some(array_end) = self.lbd.estimated_end(snoop.total_tiles) {
@@ -189,11 +297,20 @@ impl NvrPrefetcher {
         self.covered_until = window.end;
         #[cfg(feature = "nvr-debug")]
         eprintln!(
-            "NVR window [{}, {}) cur={} clock={}",
-            window.start, window.end, self.current_tile, self.clock
+            "NVR window [{}, {}) depth={}/{} cur={} clock={}",
+            window.start,
+            window.end,
+            self.windows.len() + 1,
+            self.effective_depth(),
+            self.current_tile,
+            self.clock
         );
-        self.state = Some(Runahead {
-            phase: Phase::FetchIndex { window, ready: 0 },
+        // Pipelined open: the index fetch issues *now*, so the next window
+        // can open as soon as this one's lines are in flight — fills of
+        // consecutive windows overlap instead of serialising.
+        let ready = self.fetch_index_lines(window, snoop, mem);
+        self.windows.push_back(Runahead {
+            phase: Phase::FetchIndex { window, ready },
         });
         true
     }
@@ -214,9 +331,14 @@ impl NvrPrefetcher {
         let region = nvr_common::Region::new(start, bytes);
         let mut ready = self.clock;
         for line in region.lines() {
-            if !self.sd.note_prefetched(PC_INDEX_LOAD, line) {
-                continue;
-            }
+            // The window's own lines are fetched (or waited on)
+            // unconditionally — stream-ahead may have only *queued* a line
+            // in the VIGU without issuing it yet, and the SD mark alone
+            // must never let a window resolve against lines that were
+            // never fetched. `prefetch_line` is redundancy-safe, and a
+            // still-queued duplicate is dropped later by the VIGU's
+            // residency filter.
+            self.sd.note_prefetched(PC_INDEX_LOAD, line);
             match mem.prefetch_line(line, self.clock, self.cfg.fill_nsb) {
                 nvr_mem::PrefetchOutcome::Issued { fill_done } => ready = ready.max(fill_done),
                 nvr_mem::PrefetchOutcome::Redundant => {
@@ -229,61 +351,96 @@ impl NvrPrefetcher {
                 nvr_mem::PrefetchOutcome::Dropped => {}
             }
         }
-        // Stream-ahead: the next window's index lines (their fill time is
-        // irrelevant now — they only need to be in flight before that
-        // window resolves).
+        // Stream-ahead: the next window's index lines. Their fill time is
+        // not urgent (they only need to be in flight before that window
+        // resolves), so they drain through the VIGU queue behind the
+        // current window's targets instead of bursting onto the channel
+        // here — a same-cycle burst of a window's worth of index lines
+        // used to queue in front of in-flight target fills and turn them
+        // late. They ride outside the VIGU's vector accounting: a
+        // sequential index run is not a PIE-resolved gather vector.
         let ahead = nvr_common::Region::new(region.end(), bytes);
-        for line in ahead.lines() {
-            if self.sd.note_prefetched(PC_INDEX_LOAD, line) {
-                let _ = mem.prefetch_line(line, self.clock, self.cfg.fill_nsb);
-            }
-        }
+        let ahead_lines: Vec<_> = ahead
+            .lines()
+            .filter(|&line| self.sd.note_prefetched(PC_INDEX_LOAD, line))
+            .collect();
+        self.vmig.push_stream(ahead_lines);
         ready
     }
 
     /// One cycle of runahead-thread work. Returns what the thread did so
     /// the advance loop can overlap VMIG issue with blocked waits.
+    ///
+    /// Priorities per cycle: retire fully-resolved windows (free — they
+    /// hold no hardware), open the next window while a pipeline slot is
+    /// free (its index fetch issues immediately), then give the shared PIE
+    /// to the *oldest* window with data ready. A cycle where every window
+    /// is waiting on fills reports the earliest wake-up so the advance
+    /// loop can fast-forward.
     fn step(
         &mut self,
         snoop: &SnoopState,
         image: &MemoryImage,
         mem: &mut MemorySystem,
     ) -> StepOutcome {
-        let Some(mut st) = self.state.take() else {
-            return if self.try_start(snoop) {
-                StepOutcome::Worked
-            } else {
-                StepOutcome::Idle
-            };
-        };
-        match st.phase {
-            Phase::FetchIndex { window, ready } => {
-                let ready = if ready == 0 {
-                    self.fetch_index_lines(window, snoop, mem)
-                } else {
-                    ready
-                };
-                if ready > self.clock {
-                    st.phase = Phase::FetchIndex { window, ready };
-                    self.state = Some(st);
-                    return StepOutcome::Blocked(ready);
+        self.windows.retain(|st| match &st.phase {
+            Phase::Resolve { window, next_elem } => *next_elem < window.end,
+            _ => true,
+        });
+        // Open the next window only while the VIGU backlog is shallow:
+        // resolved lines the memory system has not accepted yet mean the
+        // prefetch stream is already ahead of the channel, and opening
+        // deeper windows would only queue speculative traffic in front of
+        // demand fetches on the shared DRAM channel.
+        let backlog_ok = self.vmig.pending() < 2 * self.cfg.vmig_batch_lines;
+        if backlog_ok && self.windows.len() < self.effective_depth() && self.try_start(snoop, mem) {
+            return StepOutcome::Worked;
+        }
+        let resolve_limit = snoop.elem_consumed.saturating_add(self.max_ahead_elems());
+        let mut next_ready: Option<Cycle> = None;
+        for i in 0..self.windows.len() {
+            // A fetched window parks until its start is inside the target
+            // reach: its index lines may fly ahead, its target stream may
+            // not (no wake-up time — the NPU's progress at the next
+            // advance window unblocks it).
+            if let Phase::FetchIndex { window, .. } = &self.windows[i].phase {
+                if window.start >= resolve_limit {
+                    continue;
                 }
-                st.phase = Phase::Resolve {
+            }
+            match self.windows[i].blocked_until() {
+                Some(ready) if ready > self.clock => {
+                    next_ready = Some(next_ready.map_or(ready, |r| r.min(ready)));
+                }
+                _ => return self.progress_window(i, snoop, image, mem),
+            }
+        }
+        match next_ready {
+            Some(ready) => StepOutcome::Blocked(ready),
+            None => StepOutcome::Idle,
+        }
+    }
+
+    /// Advances window `i` (whose data is ready) by one pipeline stage.
+    fn progress_window(
+        &mut self,
+        i: usize,
+        snoop: &SnoopState,
+        image: &MemoryImage,
+        mem: &mut MemorySystem,
+    ) -> StepOutcome {
+        let phase = self.windows[i].phase.clone();
+        match phase {
+            Phase::FetchIndex { window, .. } => {
+                // Skip straight past anything the NPU demanded while the
+                // fill was in flight.
+                self.windows[i].phase = Phase::Resolve {
                     window,
-                    next_elem: window.start,
+                    next_elem: window.start.max(snoop.elem_consumed.min(window.end)),
                 };
-                self.state = Some(st);
                 StepOutcome::Worked
             }
             Phase::Resolve { window, next_elem } => {
-                if next_elem >= window.end {
-                    // Window done; open the next one.
-                    return if self.try_start(snoop) {
-                        StepOutcome::Worked
-                    } else {
-                        StepOutcome::Idle
-                    };
-                }
                 let group_end = (next_elem + self.cfg.vector_width as u64).min(window.end);
                 let values: Vec<u32> = (next_elem..group_end)
                     .map(|e| image.read_u32(snoop.index_elem_addr(e)))
@@ -301,14 +458,12 @@ impl NvrPrefetcher {
                         }
                         probes.push(probe);
                     }
-                    st.phase = Phase::ProbeWait {
+                    self.windows[i].phase = Phase::ProbeWait {
                         window,
                         next_elem: group_end,
                         probes,
                         ready,
                     };
-                    self.state = Some(st);
-                    return StepOutcome::Worked;
                 } else {
                     let mut bundle = Vec::with_capacity(values.len());
                     for &v in &values {
@@ -317,34 +472,28 @@ impl NvrPrefetcher {
                         }
                     }
                     self.vmig.push_bundle(bundle);
-                    st.phase = Phase::Resolve {
+                    self.windows[i].phase = Phase::Resolve {
                         window,
                         next_elem: group_end,
                     };
-                    self.state = Some(st);
                 }
                 StepOutcome::Worked
             }
             Phase::ProbeWait {
                 window,
                 next_elem,
-                ref probes,
-                ready,
+                probes,
+                ..
             } => {
-                if ready > self.clock {
-                    self.state = Some(st);
-                    return StepOutcome::Blocked(ready);
-                }
                 let mut bundle = Vec::with_capacity(probes.len());
-                for probe in probes {
+                for probe in &probes {
                     let slot = image.read_u32(*probe);
                     if let Some(target) = self.scd.predict_and_track(slot) {
                         bundle.extend(target.lines());
                     }
                 }
                 self.vmig.push_bundle(bundle);
-                st.phase = Phase::Resolve { window, next_elem };
-                self.state = Some(st);
+                self.windows[i].phase = Phase::Resolve { window, next_elem };
                 StepOutcome::Worked
             }
         }
@@ -358,6 +507,16 @@ impl Prefetcher for NvrPrefetcher {
 
     fn fills_nsb(&self) -> bool {
         self.cfg.fill_nsb
+    }
+
+    fn finalize_run(&mut self, mem: &mut MemorySystem) {
+        // Fold in anything the memory system recorded after the last
+        // advance window (tail demand touches, end-of-run evictions).
+        self.lifetime.drain(mem);
+    }
+
+    fn timeliness(&self) -> Option<TimelinessReport> {
+        Some(self.lifetime.report())
     }
 
     fn observe(
@@ -386,6 +545,14 @@ impl Prefetcher for NvrPrefetcher {
         image: &MemoryImage,
         mem: &mut MemorySystem,
     ) {
+        // Arm the memory system's prefetch lifetime log on first entry and
+        // fold everything it recorded since the last window into the
+        // tracker — the throttle input and the fig. 6b data.
+        if !self.life_log_on {
+            mem.enable_prefetch_life_log();
+            self.life_log_on = true;
+        }
+        self.lifetime.drain(mem);
         // Snoop ingestion is free (hardware registers).
         self.lbd.set_total_tiles(snoop.total_tiles);
         if snoop.window_len() > 0 {
@@ -401,10 +568,16 @@ impl Prefetcher for NvrPrefetcher {
             self.current_tile = snoop.tile;
             self.miss_seen_in_tile = false;
         }
-        // Abandon a parked window the NPU has already demand-loaded past.
-        if let Some(st) = &self.state {
-            if st.window().end <= snoop.elem_consumed {
-                self.state = None;
+        // Abandon windows the NPU has already demand-loaded past, and
+        // fast-forward paced windows over elements the NPU consumed while
+        // they were parked — resolving those would prefetch lines the
+        // demand stream has already fetched (pure waste), and it is the
+        // ROB-head progress register that says so, not oracle knowledge.
+        self.windows
+            .retain(|st| st.window().end > snoop.elem_consumed);
+        for st in &mut self.windows {
+            if let Phase::Resolve { window, next_elem } = &mut st.phase {
+                *next_elem = (*next_elem).max(snoop.elem_consumed.min(window.end));
             }
         }
         self.clock = self.clock.max(from);
@@ -424,10 +597,10 @@ impl Prefetcher for NvrPrefetcher {
         // issue would fragment the speculative MSHR file across undersized
         // vectors — and flushes whenever the thread blocks or runs dry.
         while self.clock < to {
-            let flowing = matches!(
-                self.state.as_ref().map(|st| &st.phase),
-                Some(Phase::Resolve { .. })
-            );
+            let flowing = self
+                .windows
+                .iter()
+                .any(|st| matches!(st.phase, Phase::Resolve { .. }));
             let issued = if self.vmig.pending() >= self.cfg.vmig_batch_lines || !flowing {
                 self.vmig.issue(mem, self.clock, self.cfg.fill_nsb) > 0
             } else {

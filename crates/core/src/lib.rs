@@ -46,8 +46,11 @@
 //! assert!(!nvr.fills_nsb()); // until an NSB is configured
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod config;
 pub mod controller;
+pub mod lifetime;
 pub mod loop_bound;
 pub mod nsb;
 pub mod overhead;
@@ -57,6 +60,7 @@ pub mod vmig;
 
 pub use config::{NvrConfig, TriggerPolicy};
 pub use controller::NvrPrefetcher;
+pub use lifetime::LifetimeTracker;
 pub use loop_bound::LoopBoundDetector;
 pub use nsb::nsb_config;
 pub use overhead::{overhead_report, OverheadReport};

@@ -34,6 +34,8 @@ pub struct Vmig {
     vectors_issued: u64,
     /// Total lines carried by those vectors.
     lines_issued: u64,
+    /// Lines dropped at issue by the residency filter.
+    lines_filtered: u64,
 }
 
 impl Vmig {
@@ -50,6 +52,7 @@ impl Vmig {
             queue: Vec::new(),
             vectors_issued: 0,
             lines_issued: 0,
+            lines_filtered: 0,
         }
     }
 
@@ -78,6 +81,17 @@ impl Vmig {
         }
     }
 
+    /// Queues prefetch lines *without* vector-operation accounting — for
+    /// index stream-ahead traffic that rides the issue queue for pacing
+    /// but is not a PIE-resolved gather vector, so
+    /// [`Vmig::mean_pack_width`] keeps measuring the packing efficiency
+    /// of resolved targets only.
+    pub fn push_stream<I: IntoIterator<Item = LineAddr>>(&mut self, lines: I) {
+        for line in lines {
+            self.push(line);
+        }
+    }
+
     /// Lines waiting to issue.
     #[must_use]
     pub fn pending(&self) -> usize {
@@ -93,22 +107,42 @@ impl Vmig {
     /// Issues one vector (up to `width` lines) of prefetches at `now`,
     /// capped to the free MSHR count so elements back-pressure in the VIGU
     /// buffer rather than dropping. Returns the number of lines issued.
+    ///
+    /// Queued lines that are already resident (or in flight) on the NPU
+    /// side are dropped without burning a vector lane — the VIGU probes
+    /// the tag array before synthesising the operation, so redundant
+    /// targets never crowd out fresh ones in the issue vector. The filter
+    /// is skipped when fills also populate the NSB, because a redundant
+    /// L2 line still wants its NSB promotion.
     pub fn issue(&mut self, mem: &mut MemorySystem, now: Cycle, fill_nsb: bool) -> usize {
         if self.queue.is_empty() {
             return 0;
         }
-        let n = self
-            .queue
-            .len()
-            .min(self.width)
-            .min(mem.prefetch_slots(now));
-        if n == 0 {
+        let cap = self.width.min(mem.prefetch_slots(now));
+        if cap == 0 {
             return 0;
         }
-        for line in self.queue.drain(..n) {
+        let mut taken = 0;
+        let mut issued = 0;
+        while issued < cap && taken < self.queue.len() {
+            let line = self.queue[taken];
+            taken += 1;
+            if !fill_nsb && mem.npu_side_contains(line) {
+                self.lines_filtered += 1;
+                continue;
+            }
             mem.prefetch_line(line, now, fill_nsb);
+            issued += 1;
         }
-        n
+        self.queue.drain(..taken);
+        issued
+    }
+
+    /// Queued lines dropped at issue because they were already resident or
+    /// in flight (the VIGU's tag-probe filter).
+    #[must_use]
+    pub fn lines_filtered(&self) -> u64 {
+        self.lines_filtered
     }
 
     /// Vector operations issued over the run.
@@ -187,6 +221,21 @@ mod tests {
         v.push(LineAddr::new(3));
         assert_eq!(v.issue(&mut mem, 1, false), 0);
         assert_eq!(v.pending(), 2);
+    }
+
+    #[test]
+    fn issue_filters_resident_lines() {
+        let mut mem = MemorySystem::new(MemoryConfig::default());
+        let mut v = Vmig::new(4);
+        // Make line 1 resident via a demand fill, then queue it plus a
+        // fresh line: the resident one is dropped without a lane.
+        let r = mem.demand_line(LineAddr::new(1), 0);
+        v.push(LineAddr::new(1));
+        v.push(LineAddr::new(2));
+        let n = v.issue(&mut mem, r.ready_at + 1, false);
+        assert_eq!(n, 1, "resident line filtered, fresh line issued");
+        assert_eq!(v.lines_filtered(), 1);
+        assert!(v.is_empty());
     }
 
     #[test]

@@ -5,6 +5,47 @@ use nvr_common::{Cycle, LineAddr};
 use crate::config::CacheConfig;
 use crate::stats::CacheStats;
 
+/// One observed transition in a prefetched line's life, recorded by the
+/// cache when its lifetime log is enabled (see [`Cache::enable_life_log`]).
+///
+/// These are the raw mem-side facts a timeliness model needs: when a
+/// speculative fill was accepted, when its data arrived, when a demand
+/// first touched it (and whether that demand had to wait mid-fill), and
+/// when an untouched prefetched line was evicted. The consumer — NVR's
+/// `lifetime` module in `nvr_core` — folds them into an issue→use slack
+/// histogram and a usefulness throttle; the cache itself only reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PrefetchLifeEvent {
+    /// A prefetch was accepted for `line` at cycle `at`; its data arrives
+    /// at `fill_done`.
+    Issued {
+        /// The prefetched line.
+        line: LineAddr,
+        /// Cycle the prefetch entered the cache.
+        at: Cycle,
+        /// Cycle its fill completes.
+        fill_done: Cycle,
+    },
+    /// The first demand access touched the prefetched `line` at cycle `at`.
+    FirstUse {
+        /// The prefetched line.
+        line: LineAddr,
+        /// Cycle of the first demand touch.
+        at: Cycle,
+        /// Whether the demand arrived before the fill completed (a *late*
+        /// prefetch: useful, but the NPU still waited).
+        late: bool,
+    },
+    /// A prefetched line was evicted at cycle `at` without ever being
+    /// demanded (wasted speculation — cache pollution).
+    EvictedUnused {
+        /// The evicted line.
+        line: LineAddr,
+        /// Cycle of the eviction.
+        at: Cycle,
+    },
+}
+
 /// Result of probing a cache for a line.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ProbeResult {
@@ -72,6 +113,9 @@ pub struct Cache {
     /// Completion cycles of outstanding fills (the MSHR file).
     inflight: Vec<Cycle>,
     stats: CacheStats,
+    /// Per-prefetch lifetime events, recorded only when a consumer enabled
+    /// the log (`None` costs nothing on the demand path).
+    life_log: Option<Vec<PrefetchLifeEvent>>,
 }
 
 impl Cache {
@@ -90,7 +134,62 @@ impl Cache {
             sets: vec![vec![Way::default(); cfg.ways as usize]; sets as usize],
             inflight: Vec::with_capacity(cfg.mshr_entries),
             stats: CacheStats::new(cfg.name),
+            life_log: None,
             cfg,
+        }
+    }
+
+    /// Starts recording [`PrefetchLifeEvent`]s. Idempotent; events
+    /// accumulate until drained with [`Cache::take_life_events`], so only
+    /// consumers that drain regularly (e.g. a runahead controller's
+    /// `advance` loop) should enable it.
+    pub fn enable_life_log(&mut self) {
+        if self.life_log.is_none() {
+            self.life_log = Some(Vec::new());
+        }
+    }
+
+    /// Drains the recorded lifetime events, in occurrence order. Returns
+    /// an empty vec when the log was never enabled.
+    pub fn take_life_events(&mut self) -> Vec<PrefetchLifeEvent> {
+        match &mut self.life_log {
+            Some(log) => std::mem::take(log),
+            None => Vec::new(),
+        }
+    }
+
+    /// Reconstructs the line address of the way at (`set`, tag) — the
+    /// inverse of [`Cache::set_index`] / [`Cache::tag`], needed to name
+    /// evicted lines in the lifetime log.
+    fn line_of(&self, set: usize, tag: u64) -> LineAddr {
+        LineAddr::new(tag * self.n_sets + set as u64)
+    }
+
+    /// Records a [`PrefetchLifeEvent::FirstUse`] for `line` when a demand
+    /// was satisfied by a level *above* this cache (the NSB) and never
+    /// probed it. Touches only the lifetime log — LRU state and the
+    /// aggregate statistics keep their level-local semantics — so the
+    /// lifetime consumer sees the consumption a pure-L2 view would
+    /// misread as an unused eviction later. Duplicate calls for the same
+    /// line are harmless: the tracker ignores a `FirstUse` with no
+    /// pending issue.
+    pub fn log_external_use(&mut self, line: LineAddr, now: Cycle) {
+        if self.life_log.is_none() {
+            return;
+        }
+        let set = self.set_index(line);
+        let tag = self.tag(line);
+        if let Some(w) = self.sets[set].iter().find(|w| w.valid && w.tag == tag) {
+            if w.from_prefetch && !w.demanded {
+                let late = w.fill_done > now;
+                if let Some(log) = &mut self.life_log {
+                    log.push(PrefetchLifeEvent::FirstUse {
+                        line,
+                        at: now,
+                        late,
+                    });
+                }
+            }
         }
     }
 
@@ -128,6 +227,15 @@ impl Cache {
                 let first_demand_of_prefetch = is_demand && w.from_prefetch && !w.demanded;
                 if is_demand {
                     w.demanded = true;
+                }
+                if first_demand_of_prefetch {
+                    if let Some(log) = &mut self.life_log {
+                        log.push(PrefetchLifeEvent::FirstUse {
+                            line,
+                            at: now,
+                            late: !filled,
+                        });
+                    }
                 }
                 if filled {
                     if is_demand {
@@ -242,13 +350,34 @@ impl Cache {
             w.last_use = now;
             return;
         }
+        if from_prefetch {
+            if let Some(log) = &mut self.life_log {
+                log.push(PrefetchLifeEvent::Issued {
+                    line,
+                    at: now,
+                    fill_done,
+                });
+            }
+        }
 
         let victim = self.pick_victim(set, now);
+        let evicted_unused_line = {
+            let w = &self.sets[set][victim];
+            (w.valid && w.from_prefetch && !w.demanded).then(|| self.line_of(set, w.tag))
+        };
         let w = &mut self.sets[set][victim];
         if w.valid {
             self.stats.evictions.inc();
             if w.from_prefetch && !w.demanded {
                 self.stats.prefetch_evicted_unused.inc();
+            }
+        }
+        if let Some(evicted) = evicted_unused_line {
+            if let Some(log) = &mut self.life_log {
+                log.push(PrefetchLifeEvent::EvictedUnused {
+                    line: evicted,
+                    at: now,
+                });
             }
         }
         *w = Way {

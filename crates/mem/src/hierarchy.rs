@@ -133,14 +133,23 @@ impl MemorySystem {
         }
         match &mut self.nsb {
             Some(nsb) => match nsb.probe(line, now, true) {
-                ProbeResult::Hit { ready_at } => AccessResult {
-                    ready_at,
-                    outcome: AccessOutcome::NsbHit,
-                },
-                ProbeResult::InFlight { ready_at, .. } => AccessResult {
-                    ready_at,
-                    outcome: AccessOutcome::InFlight,
-                },
+                ProbeResult::Hit { ready_at } => {
+                    // The demand never reaches the L2, but the lifetime
+                    // log lives there: record the consumption so the
+                    // prefetched L2 copy is not misread as unused.
+                    self.l2.log_external_use(line, now);
+                    AccessResult {
+                        ready_at,
+                        outcome: AccessOutcome::NsbHit,
+                    }
+                }
+                ProbeResult::InFlight { ready_at, .. } => {
+                    self.l2.log_external_use(line, now);
+                    AccessResult {
+                        ready_at,
+                        outcome: AccessOutcome::InFlight,
+                    }
+                }
                 ProbeResult::Miss => {
                     // NSB lookup cost precedes the L2 access.
                     let t_l2 = now + self.cfg.nsb.as_ref().expect("nsb cfg").hit_latency;
@@ -298,6 +307,22 @@ impl MemorySystem {
         } else {
             self.pf_inflight.push(fill_done);
         }
+    }
+
+    /// Starts recording per-prefetch lifetime events at the L2 (the level
+    /// NVR fills): issue, fill, first demand use, and unused eviction. Off
+    /// by default — non-runahead prefetchers never pay for it. Idempotent;
+    /// the consumer must drain with
+    /// [`MemorySystem::take_prefetch_life_events`] regularly or the log
+    /// grows for the rest of the run.
+    pub fn enable_prefetch_life_log(&mut self) {
+        self.l2.enable_life_log();
+    }
+
+    /// Drains the L2's recorded [`crate::cache::PrefetchLifeEvent`]s in
+    /// occurrence order. Empty when the log was never enabled.
+    pub fn take_prefetch_life_events(&mut self) -> Vec<crate::cache::PrefetchLifeEvent> {
+        self.l2.take_life_events()
     }
 
     /// Cycle at which `line`'s data becomes readable on chip, if resident

@@ -34,7 +34,7 @@ pub mod hierarchy;
 pub mod scratchpad;
 pub mod stats;
 
-pub use cache::{Cache, ProbeResult};
+pub use cache::{Cache, PrefetchLifeEvent, ProbeResult};
 pub use config::{CacheConfig, DramConfig, MemoryConfig};
 pub use dram::Dram;
 pub use hierarchy::{AccessOutcome, AccessResult, MemorySystem, PrefetchOutcome};

@@ -38,18 +38,19 @@ pub use nvr_workloads as workloads;
 /// The most commonly used items, for `use nvr::prelude::*`.
 pub mod prelude {
     pub use nvr_common::{Addr, Cycle, DataWidth, LineAddr, Pcg32, Region};
-    pub use nvr_core::{nsb_config, overhead_report, NvrConfig, NvrPrefetcher};
+    pub use nvr_core::{nsb_config, overhead_report, LifetimeTracker, NvrConfig, NvrPrefetcher};
     pub use nvr_llm::LlmConfig;
-    pub use nvr_mem::{CacheConfig, DramConfig, MemoryConfig, MemorySystem};
+    pub use nvr_mem::{CacheConfig, DramConfig, MemoryConfig, MemorySystem, PrefetchLifeEvent};
     pub use nvr_npu::{ExecMode, NpuConfig, NpuEngine, RunResult};
     pub use nvr_prefetch::{
         DvrPrefetcher, ImpPrefetcher, NullPrefetcher, Prefetcher, StreamPrefetcher,
+        TimelinessReport,
     };
     pub use nvr_sim::figures::FigureId;
     pub use nvr_sim::sweep::pool;
     pub use nvr_sim::{
-        coverage, pollution, run_sweep, run_system, RunOutcome, SweepJob, SweepResults, SweepSpec,
-        SystemKind,
+        coverage, pollution, run_sweep, run_system, timeliness_split, RunOutcome, SweepJob,
+        SweepResults, SweepSpec, SystemKind,
     };
     pub use nvr_trace::{MemoryImage, NpuProgram, SnoopState, SparseFunc, TileOp};
     pub use nvr_workloads::{PointcloudParams, Scale, VoxelOrder, WorkloadId, WorkloadSpec};

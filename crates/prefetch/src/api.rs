@@ -1,8 +1,70 @@
 //! The prefetcher interface driven by the NPU engine.
 
-use nvr_common::Cycle;
+use nvr_common::{Cycle, Histogram};
 use nvr_mem::MemorySystem;
 use nvr_trace::{AccessEvent, MemoryImage, SnoopState};
+
+/// Measured per-prefetch timeliness of one run: how the speculative fills
+/// a prefetcher issued actually fared against the demand stream.
+///
+/// Populated by prefetchers that track prefetch lifetimes (NVR's
+/// `lifetime` module in `nvr_core`); [`Prefetcher::timeliness`] returns
+/// `None` for the rest. Every count is a *measured* outcome from the
+/// memory system's lifetime log, not an inference from aggregate
+/// counters:
+///
+/// * **timely** — first demand touch found the fill complete;
+/// * **late** — first demand touch merged into the still-pending fill
+///   (the NPU waited part of the latency: coverage without full benefit);
+/// * **evicted unused** — the line left the cache untouched (pollution);
+/// * **unresolved** — issued but neither demanded nor evicted by the end
+///   of the run (in-flight or resident-unused at finalisation).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TimelinessReport {
+    /// Issue→first-use slack distribution, in cycles, over all used
+    /// prefetches (timely and late).
+    pub slack: Histogram,
+    /// Prefetches whose fill completed before the first demand touch.
+    pub timely: u64,
+    /// Prefetches demanded mid-fill.
+    pub late: u64,
+    /// Prefetches evicted without a demand touch.
+    pub evicted_unused: u64,
+    /// Prefetches with no observed outcome by end of run.
+    pub unresolved: u64,
+}
+
+impl TimelinessReport {
+    /// Prefetches with a demand touch (timely + late).
+    #[must_use]
+    pub fn used(&self) -> u64 {
+        self.timely + self.late
+    }
+
+    /// Fraction of *resolved* prefetches (used or evicted) that were
+    /// timely; 0 when nothing resolved.
+    #[must_use]
+    pub fn timely_fraction(&self) -> f64 {
+        let resolved = self.used() + self.evicted_unused;
+        if resolved == 0 {
+            0.0
+        } else {
+            self.timely as f64 / resolved as f64
+        }
+    }
+
+    /// Fraction of used prefetches the demand had to wait on; 0 when
+    /// nothing was used.
+    #[must_use]
+    pub fn late_fraction(&self) -> f64 {
+        let used = self.used();
+        if used == 0 {
+            0.0
+        } else {
+            self.late as f64 / used as f64
+        }
+    }
+}
 
 /// A hardware prefetcher attached to the NPU's memory system.
 ///
@@ -58,6 +120,19 @@ pub trait Prefetcher {
     /// honours this flag when an NSB is configured).
     fn fills_nsb(&self) -> bool {
         false
+    }
+
+    /// Called once after the program's last cycle, before results are
+    /// read: lifetime-tracking prefetchers drain the memory system's
+    /// remaining lifetime events here so [`Prefetcher::timeliness`]
+    /// reflects the whole run. No-op by default.
+    fn finalize_run(&mut self, _mem: &mut MemorySystem) {}
+
+    /// The measured per-prefetch timeliness of the run so far, for
+    /// prefetchers that track prefetch lifetimes; `None` (the default)
+    /// for those that do not.
+    fn timeliness(&self) -> Option<TimelinessReport> {
+        None
     }
 }
 

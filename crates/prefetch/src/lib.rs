@@ -23,7 +23,7 @@ pub mod imp;
 pub mod rpt;
 pub mod stream;
 
-pub use api::{NullPrefetcher, Prefetcher};
+pub use api::{NullPrefetcher, Prefetcher, TimelinessReport};
 pub use dvr::{DvrConfig, DvrPrefetcher};
 pub use imp::{ImpConfig, ImpPrefetcher};
 pub use rpt::StrideEntry;

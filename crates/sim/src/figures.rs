@@ -7,6 +7,7 @@
 pub mod fig1b;
 pub mod fig5;
 pub mod fig6;
+pub mod fig6b;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
@@ -26,6 +27,8 @@ pub enum FigureId {
     Fig5,
     /// Fig. 6 — accuracy / coverage / pollution + data movement.
     Fig6,
+    /// Fig. 6b′ — prefetch timeliness breakdown (issue→use slack).
+    Fig6b,
     /// Fig. 7 — bandwidth allocation.
     Fig7,
     /// Fig. 8 — LLM system evaluation.
@@ -42,10 +45,11 @@ pub enum FigureId {
 
 impl FigureId {
     /// Every artifact, in the paper's order of appearance.
-    pub const ALL: [FigureId; 9] = [
+    pub const ALL: [FigureId; 10] = [
         FigureId::Fig1b,
         FigureId::Fig5,
         FigureId::Fig6,
+        FigureId::Fig6b,
         FigureId::Fig7,
         FigureId::Fig8,
         FigureId::Fig9,
@@ -61,6 +65,7 @@ impl FigureId {
             FigureId::Fig1b => "fig1b",
             FigureId::Fig5 => "fig5",
             FigureId::Fig6 => "fig6",
+            FigureId::Fig6b => "fig6b",
             FigureId::Fig7 => "fig7",
             FigureId::Fig8 => "fig8",
             FigureId::Fig9 => "fig9",
@@ -87,6 +92,7 @@ impl FigureId {
             FigureId::Fig1b => fig1b::run_jobs(scale, seed, jobs).to_string(),
             FigureId::Fig5 => fig5::run_jobs(scale, seed, jobs).to_string(),
             FigureId::Fig6 => fig6::run_jobs(scale, seed, jobs).to_string(),
+            FigureId::Fig6b => fig6b::run_jobs(scale, seed, jobs).to_string(),
             FigureId::Fig7 => fig7::run_jobs(scale, seed, jobs).to_string(),
             FigureId::Fig8 => fig8::run_jobs(seed, scale == Scale::Tiny, jobs).to_string(),
             FigureId::Fig9 => fig9::run_jobs(scale, seed, jobs).to_string(),

@@ -32,6 +32,10 @@ pub struct AccCov {
     /// *added* misses (see [`pollution`]) — the case the clamped coverage
     /// column cannot distinguish from "did nothing".
     pub pollution: f64,
+    /// Measured late fraction of used prefetches (issue→use slack ran past
+    /// the fill), for systems that track prefetch lifetimes (NVR). The
+    /// full slack distribution is the fig. 6b′ driver's subject.
+    pub late_fraction: Option<f64>,
 }
 
 /// Panel (c): data-movement split of one system.
@@ -181,6 +185,7 @@ pub fn run_jobs_with_workloads(
                 accuracy: o.result.mem.prefetch_accuracy(),
                 coverage: coverage(base_misses, misses),
                 pollution: pollution(base_misses, misses),
+                late_fraction: o.timeliness.as_ref().map(|t| t.late_fraction()),
             });
         }
     }
@@ -261,6 +266,7 @@ impl fmt::Display for Fig6 {
             "accuracy".into(),
             "coverage".into(),
             "pollution".into(),
+            "late frac".into(),
         ]);
         for c in &self.cells {
             t.row(vec![
@@ -273,6 +279,7 @@ impl fmt::Display for Fig6 {
                     if c.pollution > 0.0 { "+" } else { "" },
                     fmt3(c.pollution)
                 ),
+                c.late_fraction.map_or_else(|| "-".into(), fmt3),
             ]);
         }
         writeln!(f, "{t}")?;

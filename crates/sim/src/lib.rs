@@ -26,7 +26,7 @@ pub mod report;
 pub mod runner;
 pub mod sweep;
 
-pub use metrics::{coverage, geometric_mean, pollution};
+pub use metrics::{coverage, geometric_mean, pollution, timeliness_split};
 pub use report::Table;
 pub use runner::{run_system, RunOutcome, SystemKind};
 pub use sweep::{run_sweep, SweepJob, SweepResults, SweepSpec};

@@ -1,5 +1,41 @@
 //! Derived comparison metrics.
 
+use nvr_prefetch::TimelinessReport;
+
+/// Splits a measured [`TimelinessReport`] into `(timely, late,
+/// evicted-unused)` fractions of all *resolved* prefetches — the fig. 6b′
+/// timeliness breakdown. All zeros when nothing resolved.
+///
+/// # Examples
+///
+/// ```
+/// use nvr_prefetch::TimelinessReport;
+///
+/// let r = TimelinessReport {
+///     timely: 6,
+///     late: 3,
+///     evicted_unused: 1,
+///     ..TimelinessReport::default()
+/// };
+/// let (t, l, w) = nvr_sim::timeliness_split(&r);
+/// assert!((t - 0.6).abs() < 1e-12);
+/// assert!((l - 0.3).abs() < 1e-12);
+/// assert!((w - 0.1).abs() < 1e-12);
+/// ```
+#[must_use]
+pub fn timeliness_split(report: &TimelinessReport) -> (f64, f64, f64) {
+    let resolved = report.timely + report.late + report.evicted_unused;
+    if resolved == 0 {
+        return (0.0, 0.0, 0.0);
+    }
+    let n = resolved as f64;
+    (
+        report.timely as f64 / n,
+        report.late as f64 / n,
+        report.evicted_unused as f64 / n,
+    )
+}
+
 /// Prefetch coverage: the fraction of baseline misses a prefetcher
 /// eliminated (`1 - with/without`), clamped to `[0, 1]`.
 ///

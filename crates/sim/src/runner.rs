@@ -4,7 +4,9 @@ use nvr_common::Cycle;
 use nvr_core::{NvrConfig, NvrPrefetcher};
 use nvr_mem::{MemoryConfig, MemorySystem};
 use nvr_npu::{NpuConfig, NpuEngine, RunResult};
-use nvr_prefetch::{DvrPrefetcher, ImpPrefetcher, NullPrefetcher, Prefetcher, StreamPrefetcher};
+use nvr_prefetch::{
+    DvrPrefetcher, ImpPrefetcher, NullPrefetcher, Prefetcher, StreamPrefetcher, TimelinessReport,
+};
 use nvr_trace::NpuProgram;
 
 /// The six compared systems of Fig. 5 (§V-A "Comparison").
@@ -99,6 +101,9 @@ pub struct RunOutcome {
     pub result: RunResult,
     /// Wall clock against an all-hit memory system.
     pub base_cycles: Cycle,
+    /// Measured per-prefetch timeliness, for systems that track prefetch
+    /// lifetimes (NVR); `None` for the rest.
+    pub timeliness: Option<TimelinessReport>,
 }
 
 impl RunOutcome {
@@ -130,6 +135,8 @@ pub fn run_system(program: &NpuProgram, mem_cfg: &MemoryConfig, system: SystemKi
     let mut mem = MemorySystem::new(mem_cfg.clone());
     let mut prefetcher = system.prefetcher(mem_cfg);
     let result = engine.run(program, &mut mem, prefetcher.as_mut());
+    prefetcher.finalize_run(&mut mem);
+    let timeliness = prefetcher.timeliness();
 
     let mut ideal = MemorySystem::ideal(mem_cfg.clone());
     let base = engine.run(program, &mut ideal, &mut NullPrefetcher::new());
@@ -138,6 +145,7 @@ pub fn run_system(program: &NpuProgram, mem_cfg: &MemoryConfig, system: SystemKi
         system,
         result,
         base_cycles: base.total_cycles,
+        timeliness,
     }
 }
 
@@ -182,6 +190,18 @@ mod tests {
         for (s, t) in &totals {
             assert!(nvr <= *t, "NVR {nvr} should not lose to {} {t}", s.label());
         }
+    }
+
+    #[test]
+    fn timeliness_present_only_for_nvr() {
+        let p = program();
+        let cfg = MemoryConfig::default();
+        let nvr = run_system(&p, &cfg, SystemKind::Nvr);
+        let t = nvr.timeliness.expect("NVR tracks prefetch lifetimes");
+        assert!(t.used() > 0, "NVR prefetches should be used");
+        assert_eq!(t.slack.count(), t.used(), "one slack sample per use");
+        let ino = run_system(&p, &cfg, SystemKind::InOrder);
+        assert!(ino.timeliness.is_none());
     }
 
     #[test]

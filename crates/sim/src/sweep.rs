@@ -210,18 +210,23 @@ impl SweepResults {
     }
 
     /// Deterministic CSV of the numeric results (no wall-clock columns, so
-    /// `jobs = 1` and `jobs = N` emit identical bytes).
+    /// `jobs = 1` and `jobs = N` emit identical bytes). The trailing
+    /// timeliness columns (`pf_timely`, `pf_late`, `pf_evicted_unused`,
+    /// `pf_slack_mean`) are measured per-prefetch outcomes and are zero
+    /// for systems that do not track prefetch lifetimes.
     #[must_use]
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
             "workload,system,scale,width,seed,cycles,base_cycles,\
              l2_demand_misses,l2_demand_hits,dram_demand_lines,\
-             prefetch_issued,prefetch_useful\n",
+             prefetch_issued,prefetch_useful,prefetch_late,\
+             pf_timely,pf_late,pf_evicted_unused,pf_slack_mean\n",
         );
         for c in &self.cells {
             let m = &c.outcome.result.mem;
+            let t = c.outcome.timeliness.clone().unwrap_or_default();
             out.push_str(&format!(
-                "{},{},{},{},{},{},{},{},{},{},{},{}\n",
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{:.3}\n",
                 c.job.workload.short(),
                 c.job.system.label(),
                 c.job.scale,
@@ -234,6 +239,11 @@ impl SweepResults {
                 m.dram.demand_lines.get(),
                 m.l2.prefetch_issued.get(),
                 m.l2.prefetch_useful.get(),
+                m.l2.prefetch_late.get(),
+                t.timely,
+                t.late,
+                t.evicted_unused,
+                t.slack.mean(),
             ));
         }
         out

@@ -105,6 +105,26 @@ fn parallel_sweep_matches_serial_bit_for_bit() {
             "{}: memory counters differ across worker counts",
             a.job.key()
         );
+        // The measured timeliness — including the full issue→use slack
+        // histogram, bucket by bucket — must be bit-identical too.
+        assert_eq!(
+            a.outcome.timeliness,
+            b.outcome.timeliness,
+            "{}: timeliness histogram differs across worker counts",
+            a.job.key()
+        );
+        if a.job.system == SystemKind::Nvr {
+            let t = a
+                .outcome
+                .timeliness
+                .as_ref()
+                .expect("NVR cells carry a timeliness report");
+            assert!(
+                t.slack.count() > 0,
+                "{}: NVR should measure a nonzero slack distribution",
+                a.job.key()
+            );
+        }
     }
     // And the canonical CSV renditions are byte-identical.
     assert_eq!(serial.to_csv(), parallel.to_csv());
