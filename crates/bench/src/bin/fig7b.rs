@@ -1,0 +1,12 @@
+//! Regenerates Fig. 7b′ — DRAM channel scaling: InO vs NVR vs NVR+NSB at
+//! 1/2/4 line-interleaved channels per workload, with per-channel
+//! utilisation and prefetch queue-delay percentiles. `--jobs N`
+//! parallelises.
+use nvr_bench::{experiment_scale, jobs_from_args, EXPERIMENT_SEED};
+
+fn main() {
+    println!(
+        "{}",
+        nvr_sim::figures::fig7b::run_jobs(experiment_scale(), EXPERIMENT_SEED, jobs_from_args())
+    );
+}

@@ -33,7 +33,7 @@ pub mod width;
 pub use addr::{Addr, LineAddr, Region, LINE_BYTES, LINE_SHIFT};
 pub use error::NvrError;
 pub use rng::Pcg32;
-pub use stats::{Counter, Histogram, Ratio};
+pub use stats::{mean, mean_ci95, Counter, Histogram, Ratio};
 pub use width::DataWidth;
 
 /// Simulation time in clock cycles.

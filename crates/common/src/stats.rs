@@ -260,6 +260,50 @@ impl Histogram {
         self.sum += other.sum;
         self.max = self.max.max(other.max);
     }
+
+    /// Approximate `q`-quantile (`q` in `[0, 1]`): the exclusive upper
+    /// edge of the first bucket at which the cumulative count reaches
+    /// `q * count`, clamped to the observed maximum. Resolution is the
+    /// power-of-two bucket grid; 0 when the histogram is empty.
+    #[must_use]
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (_, hi, n) in self.nonzero_buckets() {
+            seen += n;
+            if seen >= target {
+                return hi.saturating_sub(1).min(self.max);
+            }
+        }
+        self.max
+    }
+}
+
+/// Arithmetic mean of a slice (0 when empty).
+#[must_use]
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+/// Sample mean and the half-width of a 95% confidence interval under the
+/// normal approximation (`1.96 * s / sqrt(n)`, with the `n - 1` sample
+/// standard deviation). The half-width is 0 for fewer than two samples —
+/// a single seed carries no spread information.
+#[must_use]
+pub fn mean_ci95(values: &[f64]) -> (f64, f64) {
+    let m = mean(values);
+    if values.len() < 2 {
+        return (m, 0.0);
+    }
+    let var = values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / (values.len() - 1) as f64;
+    (m, 1.96 * var.sqrt() / (values.len() as f64).sqrt())
 }
 
 impl Default for Histogram {
@@ -352,5 +396,31 @@ mod tests {
         h.record(u64::MAX);
         assert_eq!(h.count(), 1);
         assert_eq!(h.max(), u64::MAX);
+    }
+
+    #[test]
+    fn histogram_percentiles_follow_bucket_edges() {
+        let mut h = Histogram::new();
+        assert_eq!(h.percentile(0.5), 0);
+        for _ in 0..9 {
+            h.record(3); // bucket [2, 4)
+        }
+        h.record(1000); // bucket [512, 1024)
+        assert_eq!(h.percentile(0.5), 3);
+        assert_eq!(h.percentile(0.9), 3);
+        assert_eq!(h.percentile(1.0), 1000); // clamped to the observed max
+        let mut zeros = Histogram::new();
+        zeros.record(0);
+        assert_eq!(zeros.percentile(0.99), 0);
+    }
+
+    #[test]
+    fn mean_and_ci95() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean_ci95(&[2.0]), (2.0, 0.0));
+        let (m, ci) = mean_ci95(&[1.0, 2.0, 3.0]);
+        assert!((m - 2.0).abs() < 1e-12);
+        // s = 1, n = 3 → 1.96 / sqrt(3)
+        assert!((ci - 1.96 / 3f64.sqrt()).abs() < 1e-12);
     }
 }

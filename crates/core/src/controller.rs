@@ -19,7 +19,11 @@
 //! 4. **vector issue** — resolved target lines drain through the VMIG,
 //!    which accumulates a full vector ([`NvrConfig::vmig_batch_lines`]
 //!    lines) while resolution is flowing and flushes whenever the thread
-//!    blocks or runs dry, filling L2 (and the NSB when configured).
+//!    blocks or runs dry, filling L2 (and the NSB when configured). The
+//!    issue stage paces on *per-channel* occupancy of the multi-channel
+//!    DRAM backend: a line whose channel's prefetch queue is full defers
+//!    in place instead of being rejected at the channel, so speculative
+//!    traffic back-pressures per channel rather than dropping.
 //!
 //! The pipeline decouples the phases *across* windows, with the two sides
 //! of a window's life held to different leashes:

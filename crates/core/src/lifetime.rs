@@ -38,11 +38,12 @@ use nvr_prefetch::TimelinessReport;
 ///
 /// let mut t = LifetimeTracker::new(8);
 /// let line = LineAddr::new(7);
-/// t.ingest(PrefetchLifeEvent::Issued { line, at: 10, fill_done: 100 });
+/// t.ingest(PrefetchLifeEvent::Issued { line, at: 10, fill_done: 100, queue_delay: 4 });
 /// t.ingest(PrefetchLifeEvent::FirstUse { line, at: 150, late: false });
 /// let r = t.report();
 /// assert_eq!(r.timely, 1);
 /// assert_eq!(r.slack.sum(), 140); // issued at 10, used at 150
+/// assert_eq!(r.queue_delay.sum(), 4); // channel arbitration delay
 /// ```
 #[derive(Debug, Clone)]
 pub struct LifetimeTracker {
@@ -98,9 +99,15 @@ impl LifetimeTracker {
     /// Ingests one lifetime event.
     pub fn ingest(&mut self, event: PrefetchLifeEvent) {
         match event {
-            PrefetchLifeEvent::Issued { line, at, .. } => {
+            PrefetchLifeEvent::Issued {
+                line,
+                at,
+                queue_delay,
+                ..
+            } => {
                 // A re-issue after eviction restarts the line's life.
                 self.pending.insert(line.index(), at);
+                self.report.queue_delay.record(queue_delay);
             }
             PrefetchLifeEvent::FirstUse { line, at, late } => {
                 if let Some(issued) = self.pending.remove(&line.index()) {
@@ -200,6 +207,7 @@ mod tests {
             line: LineAddr::new(i),
             at,
             fill_done: at + 100,
+            queue_delay: 8,
         }
     }
 
@@ -229,6 +237,8 @@ mod tests {
             (r.timely, r.late, r.evicted_unused, r.unresolved),
             (1, 1, 1, 0)
         );
+        assert_eq!(r.queue_delay.count(), 3, "every issue records its delay");
+        assert_eq!(r.queue_delay.sum(), 3 * 8);
         assert_eq!(r.slack.count(), 2);
         assert_eq!(r.slack.sum(), 200 + 40);
         assert_eq!(r.used(), 2);

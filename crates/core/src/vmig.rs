@@ -36,6 +36,9 @@ pub struct Vmig {
     lines_issued: u64,
     /// Lines dropped at issue by the residency filter.
     lines_filtered: u64,
+    /// Lines deferred at issue because their DRAM channel's prefetch
+    /// queue was full (per-channel back-pressure, not a drop).
+    lines_deferred: u64,
 }
 
 impl Vmig {
@@ -53,6 +56,7 @@ impl Vmig {
             vectors_issued: 0,
             lines_issued: 0,
             lines_filtered: 0,
+            lines_deferred: 0,
         }
     }
 
@@ -114,6 +118,12 @@ impl Vmig {
     /// targets never crowd out fresh ones in the issue vector. The filter
     /// is skipped when fills also populate the NSB, because a redundant
     /// L2 line still wants its NSB promotion.
+    ///
+    /// Lines whose DRAM channel's prefetch queue is full are *deferred*,
+    /// not dropped: they stay at the head of the VIGU buffer (order
+    /// preserved) and retry next cycle — the VIGU paces on per-channel
+    /// occupancy instead of pushing requests into a full queue where the
+    /// backend would reject them.
     pub fn issue(&mut self, mem: &mut MemorySystem, now: Cycle, fill_nsb: bool) -> usize {
         if self.queue.is_empty() {
             return 0;
@@ -124,6 +134,7 @@ impl Vmig {
         }
         let mut taken = 0;
         let mut issued = 0;
+        let mut deferred = Vec::new();
         while issued < cap && taken < self.queue.len() {
             let line = self.queue[taken];
             taken += 1;
@@ -131,10 +142,19 @@ impl Vmig {
                 self.lines_filtered += 1;
                 continue;
             }
+            // The channel gate only applies to lines that would actually
+            // fetch: an on-chip line (possible in NSB mode, where the
+            // residency filter above is skipped) needs at most an NSB
+            // promotion and never touches the DRAM channel.
+            if !mem.prefetch_channel_ready(line, now) && !mem.npu_side_contains(line) {
+                self.lines_deferred += 1;
+                deferred.push(line);
+                continue;
+            }
             mem.prefetch_line(line, now, fill_nsb);
             issued += 1;
         }
-        self.queue.drain(..taken);
+        self.queue.splice(..taken, deferred);
         issued
     }
 
@@ -143,6 +163,13 @@ impl Vmig {
     #[must_use]
     pub fn lines_filtered(&self) -> u64 {
         self.lines_filtered
+    }
+
+    /// Issue attempts deferred by per-channel queue back-pressure (the
+    /// line stayed buffered and retried later).
+    #[must_use]
+    pub fn lines_deferred(&self) -> u64 {
+        self.lines_deferred
     }
 
     /// Vector operations issued over the run.
@@ -235,6 +262,35 @@ mod tests {
         let n = v.issue(&mut mem, r.ready_at + 1, false);
         assert_eq!(n, 1, "resident line filtered, fresh line issued");
         assert_eq!(v.lines_filtered(), 1);
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn channel_backpressure_defers_lines_in_order() {
+        use nvr_mem::DramConfig;
+        let cfg = MemoryConfig {
+            prefetch_mshrs: 64,
+            dram: DramConfig {
+                queue_depth: 2,
+                ..DramConfig::default()
+            },
+            ..MemoryConfig::default()
+        };
+        let mut mem = MemorySystem::new(cfg);
+        // Saturate the single channel's prefetch queue out-of-band.
+        for i in 100..103u64 {
+            mem.prefetch_line(LineAddr::new(i), 0, false);
+        }
+        let mut v = Vmig::new(4);
+        v.push(LineAddr::new(1));
+        v.push(LineAddr::new(2));
+        // Channel full: nothing issues, the lines stay buffered in order.
+        assert_eq!(v.issue(&mut mem, 0, false), 0);
+        assert_eq!(v.pending(), 2);
+        assert_eq!(v.lines_deferred(), 2);
+        // Once the queue drains, the same lines issue.
+        let later = 10 * DramConfig::default().line_transfer_cycles();
+        assert_eq!(v.issue(&mut mem, later, false), 2);
         assert!(v.is_empty());
     }
 

@@ -25,6 +25,10 @@ pub enum PrefetchLifeEvent {
         at: Cycle,
         /// Cycle its fill completes.
         fill_done: Cycle,
+        /// Cycles the fill waited in its DRAM channel's request queue
+        /// before getting a bus slot (0 for fills that started
+        /// immediately, e.g. promotions from a lower level).
+        queue_delay: Cycle,
     },
     /// The first demand access touched the prefetched `line` at cycle `at`.
     FirstUse {
@@ -333,6 +337,31 @@ impl Cache {
     /// The caller is responsible for having checked [`Cache::mshr_available`]
     /// for demand fills.
     pub fn install(&mut self, line: LineAddr, fill_done: Cycle, from_prefetch: bool, now: Cycle) {
+        self.install_inner(line, fill_done, from_prefetch, now, 0);
+    }
+
+    /// [`Cache::install`] for a speculative fill whose DRAM channel queue
+    /// delayed it by `queue_delay` cycles — the delay rides the lifetime
+    /// log's `Issued` event so timeliness reports can attribute lateness
+    /// to arbitration rather than prediction.
+    pub fn install_speculative(
+        &mut self,
+        line: LineAddr,
+        fill_done: Cycle,
+        now: Cycle,
+        queue_delay: Cycle,
+    ) {
+        self.install_inner(line, fill_done, true, now, queue_delay);
+    }
+
+    fn install_inner(
+        &mut self,
+        line: LineAddr,
+        fill_done: Cycle,
+        from_prefetch: bool,
+        now: Cycle,
+        queue_delay: Cycle,
+    ) {
         // Record the outstanding fill, recycling a completed slot if any.
         if !from_prefetch {
             if let Some(slot) = self.inflight.iter_mut().find(|c| **c <= now) {
@@ -356,6 +385,7 @@ impl Cache {
                     line,
                     at: now,
                     fill_done,
+                    queue_delay,
                 });
             }
         }

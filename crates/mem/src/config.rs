@@ -104,32 +104,67 @@ impl CacheConfig {
     }
 }
 
-/// Timing of the off-chip DRAM channel.
+/// Timing and geometry of the off-chip DRAM backend.
+///
+/// The backend owns [`DramConfig::channels`] independent channels, line
+/// addresses interleaved across them (`line % channels`). Each channel has
+/// a bounded speculative request queue of [`DramConfig::queue_depth`]
+/// entries with demand-over-prefetch arbitration: demand fills preempt
+/// queued speculative fills, and a full queue rejects further prefetches
+/// (back-pressure), so speculation can never starve the demand path of
+/// bus slots.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DramConfig {
     /// Latency from request issue to first data, in cycles (pipelined).
     pub latency: Cycle,
-    /// Channel throughput in bytes per cycle. At the paper's 2 GHz NPU
+    /// Per-channel throughput in bytes per cycle. At the paper's 2 GHz NPU
     /// clock, 8 B/cycle models a 16 GB/s LPDDR-class channel.
     pub bytes_per_cycle: u64,
+    /// Number of independent channels, line-address interleaved. The
+    /// paper's platform has one; the `fig7b` driver sweeps 1/2/4.
+    pub channels: usize,
+    /// Per-channel bound on outstanding speculative transfers (the
+    /// prefetch request queue). Prefetches arriving at a full queue are
+    /// rejected, which the hierarchy reports as dropped — prefetchers
+    /// with their own issue queues (the VIGU) read the occupancy and
+    /// back-pressure instead.
+    pub queue_depth: usize,
 }
 
 impl DramConfig {
-    /// Cycles the channel is occupied transferring one cache line.
+    /// Cycles one channel is occupied transferring one cache line.
     #[must_use]
     pub fn line_transfer_cycles(&self) -> Cycle {
         nvr_common::div_ceil(LINE_BYTES, self.bytes_per_cycle)
+    }
+
+    /// Same configuration with a different channel count (fig7b sweeps).
+    #[must_use]
+    pub fn with_channels(mut self, channels: usize) -> Self {
+        self.channels = channels;
+        self
     }
 
     /// Checks the configuration is realisable.
     ///
     /// # Errors
     ///
-    /// Returns [`NvrError::Config`] if the bandwidth is zero.
+    /// Returns [`NvrError::Config`] if the bandwidth, channel count or
+    /// queue depth is zero.
     pub fn validate(&self) -> Result<(), NvrError> {
         if self.bytes_per_cycle == 0 {
             return Err(NvrError::Config(
                 "DRAM bytes_per_cycle must be non-zero".into(),
+            ));
+        }
+        if self.channels == 0 {
+            return Err(NvrError::Config(
+                "DRAM channel count must be non-zero".into(),
+            ));
+        }
+        if self.queue_depth == 0 {
+            return Err(NvrError::Config(
+                "DRAM prefetch queue depth must be non-zero".into(),
             ));
         }
         Ok(())
@@ -141,6 +176,8 @@ impl Default for DramConfig {
         DramConfig {
             latency: 300,
             bytes_per_cycle: 8,
+            channels: 1,
+            queue_depth: 32,
         }
     }
 }
@@ -280,6 +317,23 @@ mod tests {
             ..DramConfig::default()
         };
         assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn zero_channels_or_queue_rejected() {
+        let bad = DramConfig {
+            channels: 0,
+            ..DramConfig::default()
+        };
+        assert!(bad.validate().is_err());
+        let bad = DramConfig {
+            queue_depth: 0,
+            ..DramConfig::default()
+        };
+        assert!(bad.validate().is_err());
+        let multi = DramConfig::default().with_channels(4);
+        assert_eq!(multi.channels, 4);
+        multi.validate().expect("multi-channel config valid");
     }
 
     #[test]

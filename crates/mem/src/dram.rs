@@ -1,38 +1,90 @@
-//! Bandwidth-limited DRAM channel model.
+//! Multi-channel, bandwidth-limited DRAM backend with per-channel request
+//! queues and demand-over-prefetch arbitration.
+//!
+//! The backend owns [`DramConfig::channels`] independent channels; cache
+//! lines interleave across them by line address (`line % channels`), so
+//! the mapping is deterministic and sequential line runs stripe evenly.
+//! Each channel models a pipelined bus — one line transfer occupies the
+//! bus for [`DramConfig::line_transfer_cycles`] and completes a fixed
+//! latency after its slot starts — plus a bounded queue of *speculative*
+//! transfers awaiting the bus.
+//!
+//! # Arbitration
+//!
+//! Demand fills have absolute priority over queued speculation:
+//!
+//! * a **demand** takes the earliest bus slot after the transfers that
+//!   have already *started* (it cannot preempt data mid-flight), jumping
+//!   every queued speculative transfer, which restack behind it;
+//! * a **prefetch** is scheduled behind all traffic, and the cycles
+//!   between its arrival and its scheduled slot are reported as *queue
+//!   delay* (the lifetime log carries them to the timeliness report);
+//! * a prefetch arriving at a **full queue** is rejected — the hierarchy
+//!   counts it dropped, and queue-aware issuers (the VIGU) read
+//!   [`DramBackend::prefetch_ready`] to back-pressure instead.
+//!
+//! One modelling caveat of the timestamp-forwarded style: a queued
+//! prefetch's completion cycle is returned at admission; a demand that
+//! preempts it afterwards delays the *channel* (and every later request)
+//! but not that already-returned timestamp. The error is bounded by
+//! `queue_depth * line_transfer_cycles` and only ever optimistic for
+//! speculation — demand timing is exact.
+//!
+//! # Examples
+//!
+//! ```
+//! use nvr_mem::{DramBackend, DramConfig};
+//! use nvr_common::LineAddr;
+//!
+//! let mut dram = DramBackend::new(DramConfig::default().with_channels(2));
+//! // Even/odd lines land on different channels: both start immediately.
+//! let a = dram.demand_fetch(LineAddr::new(0), 0);
+//! let b = dram.demand_fetch(LineAddr::new(1), 0);
+//! assert_eq!(a, b);
+//! ```
 
-use nvr_common::{Cycle, LINE_BYTES};
+use std::collections::VecDeque;
+
+use nvr_common::{Cycle, LineAddr, LINE_BYTES};
 
 use crate::config::DramConfig;
 use crate::stats::DramStats;
 
-/// A single pipelined DRAM channel.
-///
-/// Each line transfer occupies the channel for
-/// [`DramConfig::line_transfer_cycles`] and completes a fixed latency after
-/// its channel slot starts, so bandwidth and latency are decoupled exactly
-/// as on a real memory bus: back-to-back requests pipeline, and a saturated
-/// channel queues.
-///
-/// # Examples
-///
-/// ```
-/// use nvr_mem::{Dram, DramConfig};
-///
-/// let mut dram = Dram::new(DramConfig::default());
-/// let first = dram.fetch_line(0, true);
-/// let second = dram.fetch_line(0, true);
-/// assert_eq!(second - first, DramConfig::default().line_transfer_cycles());
-/// ```
+/// Disposition of a speculative fill at its channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChannelPrefetch {
+    /// Accepted and scheduled.
+    Scheduled {
+        /// Fill-completion cycle.
+        fill_done: Cycle,
+        /// Cycles between arrival and the scheduled bus slot.
+        queue_delay: Cycle,
+    },
+    /// Rejected: the channel's speculative queue is full.
+    QueueFull,
+}
+
+/// Per-channel timing state (counters live in [`DramStats::channels`]).
+#[derive(Debug, Clone, Default)]
+struct Lane {
+    /// Cycle the bus is free of demand traffic and of speculative
+    /// transfers that have already started.
+    busy_free: Cycle,
+    /// Scheduled start cycles of queued (not yet started) speculative
+    /// transfers, ascending.
+    pf_queue: VecDeque<Cycle>,
+}
+
+/// The multi-channel DRAM backend (see module docs).
 #[derive(Debug, Clone)]
-pub struct Dram {
+pub struct DramBackend {
     cfg: DramConfig,
-    /// Cycle at which the channel next becomes free.
-    channel_free: Cycle,
+    lanes: Vec<Lane>,
     stats: DramStats,
 }
 
-impl Dram {
-    /// Creates a channel with the given timing.
+impl DramBackend {
+    /// Creates a backend with the given timing and channel count.
     ///
     /// # Panics
     ///
@@ -40,84 +92,204 @@ impl Dram {
     #[must_use]
     pub fn new(cfg: DramConfig) -> Self {
         cfg.validate().expect("dram config must be valid");
-        Dram {
+        let stats = DramStats {
+            channels: vec![Default::default(); cfg.channels],
+            ..DramStats::default()
+        };
+        DramBackend {
+            lanes: vec![Lane::default(); cfg.channels],
+            stats,
             cfg,
-            channel_free: 0,
-            stats: DramStats::default(),
         }
     }
 
-    /// The configuration this channel was built with.
+    /// The configuration this backend was built with.
     #[must_use]
     pub fn config(&self) -> &DramConfig {
         &self.cfg
     }
 
-    /// Accumulated statistics.
+    /// Accumulated statistics (aggregates plus per-channel counters).
     #[must_use]
     pub fn stats(&self) -> &DramStats {
         &self.stats
     }
 
-    /// Requests one cache line at cycle `now`; returns the completion cycle.
-    ///
-    /// `is_demand` selects the demand/prefetch traffic counter.
-    pub fn fetch_line(&mut self, now: Cycle, is_demand: bool) -> Cycle {
-        let transfer = self.cfg.line_transfer_cycles();
-        let slot_start = now.max(self.channel_free);
-        self.channel_free = slot_start + transfer;
-        self.stats.busy_cycles.add(transfer);
-        if is_demand {
-            self.stats.demand_lines.inc();
-        } else {
-            self.stats.prefetch_lines.inc();
-        }
-        slot_start + self.cfg.latency + transfer
+    /// The channel `line` interleaves onto.
+    #[must_use]
+    pub fn channel_of(&self, line: LineAddr) -> usize {
+        (line.index() % self.cfg.channels as u64) as usize
     }
 
-    /// Streams `bytes` of dense DMA read traffic (scratchpad fills) over
-    /// the channel; returns the completion cycle.
+    /// Promotes queued speculative transfers whose slot has started by
+    /// `now` onto the channel's busy timeline.
+    fn promote(&mut self, ch: usize, now: Cycle) {
+        let t = self.cfg.line_transfer_cycles();
+        let lane = &mut self.lanes[ch];
+        while let Some(&start) = lane.pf_queue.front() {
+            if start <= now {
+                lane.busy_free = lane.busy_free.max(start + t);
+                lane.pf_queue.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Takes a demand-priority slot of `transfer` cycles on channel `ch`
+    /// at `now`, preempting queued speculative transfers (they restack
+    /// behind it). Returns the slot start.
+    fn demand_slot(&mut self, ch: usize, now: Cycle, transfer: Cycle) -> Cycle {
+        self.promote(ch, now);
+        let lane = &mut self.lanes[ch];
+        let slot = now.max(lane.busy_free);
+        lane.busy_free = slot + transfer;
+        let mut cur = lane.busy_free;
+        let t = self.cfg.line_transfer_cycles();
+        for s in &mut lane.pf_queue {
+            if *s < cur {
+                *s = cur;
+            }
+            cur = *s + t;
+        }
+        self.stats.busy_cycles.add(transfer);
+        self.stats.channels[ch].busy_cycles.add(transfer);
+        slot
+    }
+
+    /// Fetches one cache line for a demand miss at cycle `now`; returns
+    /// the completion cycle. Demands wait only for other demand traffic
+    /// and for speculative transfers already on the bus — never for the
+    /// queued speculative backlog.
+    pub fn demand_fetch(&mut self, line: LineAddr, now: Cycle) -> Cycle {
+        let t = self.cfg.line_transfer_cycles();
+        let ch = self.channel_of(line);
+        let slot = self.demand_slot(ch, now, t);
+        self.stats.demand_lines.inc();
+        self.stats.channels[ch].demand_lines.inc();
+        slot + self.cfg.latency + t
+    }
+
+    /// Schedules one speculative line fill at cycle `now`.
+    ///
+    /// The transfer queues behind everything already scheduled on the
+    /// line's channel; the reported queue delay is `slot_start - now`.
+    /// Returns [`ChannelPrefetch::QueueFull`] when the channel's bounded
+    /// prefetch queue has no room.
+    pub fn prefetch_fetch(&mut self, line: LineAddr, now: Cycle) -> ChannelPrefetch {
+        let t = self.cfg.line_transfer_cycles();
+        let ch = self.channel_of(line);
+        self.promote(ch, now);
+        if self.lanes[ch].pf_queue.len() >= self.cfg.queue_depth {
+            self.stats.pf_queue_rejected.inc();
+            return ChannelPrefetch::QueueFull;
+        }
+        let lane = &mut self.lanes[ch];
+        let tail_end = lane.pf_queue.back().map_or(lane.busy_free, |&s| s + t);
+        let start = now.max(tail_end);
+        if start <= now {
+            // Starts immediately: straight onto the bus, never queued.
+            lane.busy_free = lane.busy_free.max(start + t);
+        } else {
+            lane.pf_queue.push_back(start);
+        }
+        let queue_delay = start - now;
+        self.stats.busy_cycles.add(t);
+        self.stats.prefetch_lines.inc();
+        let cstats = &mut self.stats.channels[ch];
+        cstats.busy_cycles.add(t);
+        cstats.prefetch_lines.inc();
+        cstats.queue_delay.record(queue_delay);
+        ChannelPrefetch::Scheduled {
+            fill_done: start + t + self.cfg.latency,
+            queue_delay,
+        }
+    }
+
+    /// Whether `line`'s channel can accept another speculative fill at
+    /// `now` — the per-channel occupancy signal queue-aware issuers (the
+    /// VIGU) pace on instead of letting requests drop.
+    #[must_use]
+    pub fn prefetch_ready(&self, line: LineAddr, now: Cycle) -> bool {
+        self.prefetch_queue_len(line, now) < self.cfg.queue_depth
+    }
+
+    /// Queued (not yet started) speculative transfers on `line`'s channel
+    /// at `now`.
+    #[must_use]
+    pub fn prefetch_queue_len(&self, line: LineAddr, now: Cycle) -> usize {
+        self.lanes[self.channel_of(line)]
+            .pf_queue
+            .iter()
+            .filter(|&&s| s > now)
+            .count()
+    }
+
+    /// Splits `bytes` evenly across the channels (dense traffic stripes),
+    /// returning per-channel shares with the remainder spread over the
+    /// leading channels.
+    fn stripe(&self, bytes: u64) -> Vec<u64> {
+        let n = self.cfg.channels as u64;
+        (0..n)
+            .map(|i| bytes / n + u64::from(i < bytes % n))
+            .collect()
+    }
+
+    /// Streams `bytes` of dense DMA read traffic (scratchpad fills),
+    /// striped across all channels at demand priority; returns the cycle
+    /// the last stripe's data arrives.
     pub fn read_stream(&mut self, now: Cycle, bytes: u64) -> Cycle {
         if bytes == 0 {
             return now;
         }
-        let transfer = nvr_common::div_ceil(bytes, self.cfg.bytes_per_cycle);
-        let slot_start = now.max(self.channel_free);
-        self.channel_free = slot_start + transfer;
-        self.stats.busy_cycles.add(transfer);
+        let mut done = now;
+        for (ch, share) in self.stripe(bytes).into_iter().enumerate() {
+            if share == 0 {
+                continue;
+            }
+            let transfer = nvr_common::div_ceil(share, self.cfg.bytes_per_cycle);
+            let slot = self.demand_slot(ch, now, transfer);
+            done = done.max(slot + self.cfg.latency + transfer);
+        }
         self.stats.dma_bytes.add(bytes);
-        slot_start + self.cfg.latency + transfer
+        done
     }
 
-    /// Streams `bytes` out over the channel (stores / writebacks); returns
-    /// the cycle the channel drains.
+    /// Streams `bytes` out (stores / writebacks), striped across all
+    /// channels at demand priority; returns the cycle the last channel
+    /// drains.
     pub fn write_bytes(&mut self, now: Cycle, bytes: u64) -> Cycle {
         if bytes == 0 {
             return now;
         }
-        let transfer = nvr_common::div_ceil(bytes, self.cfg.bytes_per_cycle);
-        let slot_start = now.max(self.channel_free);
-        self.channel_free = slot_start + transfer;
-        self.stats.busy_cycles.add(transfer);
+        let mut done = now;
+        for (ch, share) in self.stripe(bytes).into_iter().enumerate() {
+            if share == 0 {
+                continue;
+            }
+            let transfer = nvr_common::div_ceil(share, self.cfg.bytes_per_cycle);
+            let slot = self.demand_slot(ch, now, transfer);
+            done = done.max(slot + transfer);
+        }
         self.stats.write_bytes.add(bytes);
-        slot_start + transfer
+        done
     }
 
-    /// Cycle at which the channel next becomes free.
-    #[must_use]
-    pub fn channel_free_at(&self) -> Cycle {
-        self.channel_free
-    }
-
-    /// Channel utilisation over `elapsed` cycles (`busy / elapsed`, 0 when
-    /// `elapsed` is 0).
+    /// Aggregate utilisation over `elapsed` cycles: total busy cycles as
+    /// a fraction of the capacity of all channels (0 when `elapsed` is 0).
     #[must_use]
     pub fn utilisation(&self, elapsed: Cycle) -> f64 {
         if elapsed == 0 {
             0.0
         } else {
-            self.stats.busy_cycles.get() as f64 / elapsed as f64
+            self.stats.busy_cycles.get() as f64 / (elapsed * self.cfg.channels as u64) as f64
         }
+    }
+
+    /// Per-channel utilisation over `elapsed` cycles, in channel order.
+    #[must_use]
+    pub fn channel_utilisation(&self, elapsed: Cycle) -> Vec<f64> {
+        self.stats.channel_utilisation(elapsed)
     }
 
     /// Effective read bandwidth consumed, in bytes (reads only).
@@ -131,75 +303,219 @@ impl Dram {
 mod tests {
     use super::*;
 
+    fn transfer() -> Cycle {
+        DramConfig::default().line_transfer_cycles()
+    }
+
+    fn once() -> Cycle {
+        DramConfig::default().latency + transfer()
+    }
+
     #[test]
     fn single_fetch_latency() {
-        let mut d = Dram::new(DramConfig::default());
-        let done = d.fetch_line(100, true);
-        let cfg = DramConfig::default();
-        assert_eq!(done, 100 + cfg.latency + cfg.line_transfer_cycles());
+        let mut d = DramBackend::new(DramConfig::default());
+        let done = d.demand_fetch(LineAddr::new(1), 100);
+        assert_eq!(done, 100 + once());
         assert_eq!(d.stats().demand_lines.get(), 1);
+        assert_eq!(d.stats().channels[0].demand_lines.get(), 1);
     }
 
     #[test]
     fn back_to_back_fetches_pipeline() {
-        let mut d = Dram::new(DramConfig::default());
-        let a = d.fetch_line(0, true);
-        let b = d.fetch_line(0, true);
-        let c = d.fetch_line(0, true);
+        let mut d = DramBackend::new(DramConfig::default());
+        let a = d.demand_fetch(LineAddr::new(1), 0);
+        let b = d.demand_fetch(LineAddr::new(2), 0);
+        let c = d.demand_fetch(LineAddr::new(3), 0);
         // Completion spacing equals the transfer time, not the full latency.
-        let transfer = DramConfig::default().line_transfer_cycles();
-        assert_eq!(b - a, transfer);
-        assert_eq!(c - b, transfer);
+        assert_eq!(b - a, transfer());
+        assert_eq!(c - b, transfer());
     }
 
     #[test]
     fn idle_gap_resets_queueing() {
-        let mut d = Dram::new(DramConfig::default());
-        let a = d.fetch_line(0, true);
-        let b = d.fetch_line(10_000, true);
-        let once = DramConfig::default().latency + DramConfig::default().line_transfer_cycles();
-        assert_eq!(a, once);
-        assert_eq!(b, 10_000 + once);
+        let mut d = DramBackend::new(DramConfig::default());
+        let a = d.demand_fetch(LineAddr::new(1), 0);
+        let b = d.demand_fetch(LineAddr::new(2), 10_000);
+        assert_eq!(a, once());
+        assert_eq!(b, 10_000 + once());
     }
 
     #[test]
-    fn prefetch_and_demand_counted_separately() {
-        let mut d = Dram::new(DramConfig::default());
-        d.fetch_line(0, true);
-        d.fetch_line(0, false);
-        d.fetch_line(0, false);
-        assert_eq!(d.stats().demand_lines.get(), 1);
-        assert_eq!(d.stats().prefetch_lines.get(), 2);
-        assert_eq!(d.read_bytes(), 3 * 64);
+    fn lines_interleave_deterministically() {
+        let d = DramBackend::new(DramConfig::default().with_channels(4));
+        for i in 0..64 {
+            let line = LineAddr::new(i);
+            assert_eq!(d.channel_of(line), (i % 4) as usize);
+            // The mapping is a pure function of the line address.
+            assert_eq!(d.channel_of(line), d.channel_of(line));
+        }
+    }
+
+    #[test]
+    fn channels_serve_disjoint_lines_in_parallel() {
+        let mut d = DramBackend::new(DramConfig::default().with_channels(2));
+        // Lines 0 and 1 land on different channels: both complete as if alone.
+        let a = d.demand_fetch(LineAddr::new(0), 0);
+        let b = d.demand_fetch(LineAddr::new(1), 0);
+        assert_eq!(a, once());
+        assert_eq!(b, once());
+        // A third request on channel 0 queues behind the first.
+        let c = d.demand_fetch(LineAddr::new(2), 0);
+        assert_eq!(c, once() + transfer());
+    }
+
+    #[test]
+    fn demand_never_starved_behind_full_prefetch_queue() {
+        let cfg = DramConfig {
+            queue_depth: 8,
+            ..DramConfig::default()
+        };
+        let mut d = DramBackend::new(cfg.clone());
+        // Fill the speculative queue to the brim: the first transfer goes
+        // straight onto the bus, the next `queue_depth` wait in the queue.
+        for i in 0..=cfg.queue_depth {
+            assert!(matches!(
+                d.prefetch_fetch(LineAddr::new(100 + i as u64), 0),
+                ChannelPrefetch::Scheduled { .. }
+            ));
+        }
+        assert_eq!(
+            d.prefetch_fetch(LineAddr::new(999), 0),
+            ChannelPrefetch::QueueFull
+        );
+        assert_eq!(d.stats().pf_queue_rejected.get(), 1);
+        // A demand arriving now waits only for the transfer already on the
+        // bus — not for the queued speculative backlog.
+        let done = d.demand_fetch(LineAddr::new(1), 0);
+        assert_eq!(
+            done,
+            transfer() + once(),
+            "demand must preempt queued prefetches"
+        );
+    }
+
+    #[test]
+    fn prefetch_reports_queue_delay() {
+        let mut d = DramBackend::new(DramConfig::default());
+        // First prefetch starts immediately: zero delay.
+        match d.prefetch_fetch(LineAddr::new(1), 0) {
+            ChannelPrefetch::Scheduled { queue_delay, .. } => assert_eq!(queue_delay, 0),
+            other => panic!("{other:?}"),
+        }
+        // Second queues behind the first transfer.
+        match d.prefetch_fetch(LineAddr::new(2), 0) {
+            ChannelPrefetch::Scheduled {
+                fill_done,
+                queue_delay,
+            } => {
+                assert_eq!(queue_delay, transfer());
+                assert_eq!(fill_done, transfer() + once());
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(d.stats().channels[0].queue_delay.count(), 2);
+        assert_eq!(d.stats().channels[0].queue_delay.sum(), transfer());
+    }
+
+    #[test]
+    fn demand_preemption_delays_later_prefetches() {
+        let mut d = DramBackend::new(DramConfig::default());
+        // Queue two prefetches, then preempt with a demand.
+        d.prefetch_fetch(LineAddr::new(1), 0);
+        d.prefetch_fetch(LineAddr::new(2), 0);
+        d.demand_fetch(LineAddr::new(3), 0);
+        // A third prefetch now queues behind prefetch#2 *and* the demand.
+        match d.prefetch_fetch(LineAddr::new(4), 0) {
+            ChannelPrefetch::Scheduled { queue_delay, .. } => {
+                assert_eq!(queue_delay, 3 * transfer());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn queue_drains_as_time_passes() {
+        let cfg = DramConfig {
+            queue_depth: 2,
+            ..DramConfig::default()
+        };
+        let mut d = DramBackend::new(cfg);
+        // One on the bus, two in the queue: the 2-entry queue is full.
+        d.prefetch_fetch(LineAddr::new(1), 0);
+        d.prefetch_fetch(LineAddr::new(2), 0);
+        d.prefetch_fetch(LineAddr::new(4), 0);
+        assert!(!d.prefetch_ready(LineAddr::new(3), 0));
+        // By 3 transfers later the queued transfers have started: room again.
+        let later = 3 * transfer();
+        assert!(d.prefetch_ready(LineAddr::new(3), later));
+        assert!(matches!(
+            d.prefetch_fetch(LineAddr::new(3), later),
+            ChannelPrefetch::Scheduled { .. }
+        ));
     }
 
     #[test]
     fn writes_occupy_channel() {
-        let mut d = Dram::new(DramConfig::default());
+        let mut d = DramBackend::new(DramConfig::default());
         let drain = d.write_bytes(0, 160); // ceil(160/8) = 20 cycles
         assert_eq!(drain, 20);
-        let fetch_done = d.fetch_line(0, true);
+        let fetch_done = d.demand_fetch(LineAddr::new(1), 0);
         // The fetch had to wait for the write to drain.
-        let once = DramConfig::default().latency + DramConfig::default().line_transfer_cycles();
-        assert_eq!(fetch_done, 20 + once);
+        assert_eq!(fetch_done, 20 + once());
         assert_eq!(d.stats().write_bytes.get(), 160);
     }
 
     #[test]
     fn zero_byte_write_is_free() {
-        let mut d = Dram::new(DramConfig::default());
+        let mut d = DramBackend::new(DramConfig::default());
         assert_eq!(d.write_bytes(5, 0), 5);
-        assert_eq!(d.channel_free_at(), 0);
+        assert_eq!(d.demand_fetch(LineAddr::new(1), 0), once());
+    }
+
+    #[test]
+    fn streams_stripe_across_channels() {
+        let mut two = DramBackend::new(DramConfig::default().with_channels(2));
+        let mut one = DramBackend::new(DramConfig::default());
+        // The same dense burst finishes in half the transfer time on two
+        // channels (latency unchanged).
+        let t_two = two.read_stream(0, 1600);
+        let t_one = one.read_stream(0, 1600);
+        assert_eq!(t_one, 300 + 200);
+        assert_eq!(t_two, 300 + 100);
+        assert_eq!(two.stats().dma_bytes.get(), 1600);
+        // Both channels carry half the busy cycles.
+        assert_eq!(two.stats().channels[0].busy_cycles.get(), 100);
+        assert_eq!(two.stats().channels[1].busy_cycles.get(), 100);
     }
 
     #[test]
     fn utilisation_tracks_busy_fraction() {
-        let mut d = Dram::new(DramConfig::default());
-        for _ in 0..10 {
-            d.fetch_line(0, true);
+        let mut d = DramBackend::new(DramConfig::default());
+        for i in 0..10 {
+            d.demand_fetch(LineAddr::new(i), 0);
         }
-        let busy = 10 * DramConfig::default().line_transfer_cycles();
+        let busy = 10 * transfer();
         assert!((d.utilisation(2 * busy) - 0.5).abs() < 1e-12);
         assert_eq!(d.utilisation(0), 0.0);
+        // Two channels double the capacity denominator.
+        let mut two = DramBackend::new(DramConfig::default().with_channels(2));
+        for i in 0..10 {
+            two.demand_fetch(LineAddr::new(i), 0);
+        }
+        assert!((two.utilisation(busy) - 0.5).abs() < 1e-12);
+        let per = two.channel_utilisation(busy);
+        assert_eq!(per.len(), 2);
+        assert!((per[0] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prefetch_and_demand_counted_separately() {
+        let mut d = DramBackend::new(DramConfig::default());
+        d.demand_fetch(LineAddr::new(1), 0);
+        d.prefetch_fetch(LineAddr::new(2), 0);
+        d.prefetch_fetch(LineAddr::new(3), 0);
+        assert_eq!(d.stats().demand_lines.get(), 1);
+        assert_eq!(d.stats().prefetch_lines.get(), 2);
+        assert_eq!(d.read_bytes(), 3 * 64);
     }
 }

@@ -4,7 +4,7 @@ use nvr_common::{Cycle, LineAddr, Region};
 
 use crate::cache::{Cache, ProbeResult};
 use crate::config::MemoryConfig;
-use crate::dram::Dram;
+use crate::dram::{ChannelPrefetch, DramBackend};
 use crate::stats::MemoryStats;
 
 /// Classification of a demand access, for statistics and latency breakdowns.
@@ -66,7 +66,7 @@ pub struct MemorySystem {
     cfg: MemoryConfig,
     nsb: Option<Cache>,
     l2: Cache,
-    dram: Dram,
+    dram: DramBackend,
     /// Outstanding speculative fills (the dedicated prefetch MSHR file).
     pf_inflight: Vec<Cycle>,
     ideal: bool,
@@ -84,7 +84,7 @@ impl MemorySystem {
         MemorySystem {
             nsb: cfg.nsb.clone().map(Cache::new),
             l2: Cache::new(cfg.l2.clone()),
-            dram: Dram::new(cfg.dram.clone()),
+            dram: DramBackend::new(cfg.dram.clone()),
             pf_inflight: Vec::with_capacity(cfg.prefetch_mshrs),
             ideal: false,
             cfg,
@@ -113,10 +113,19 @@ impl MemorySystem {
         self.nsb.is_some()
     }
 
-    /// Direct access to the DRAM channel (for utilisation queries).
+    /// Direct access to the DRAM backend (for utilisation queries).
     #[must_use]
-    pub fn dram(&self) -> &Dram {
+    pub fn dram(&self) -> &DramBackend {
         &self.dram
+    }
+
+    /// Whether `line`'s DRAM channel can accept another speculative fill
+    /// at `now` — the per-channel occupancy signal queue-aware issuers
+    /// (the VIGU) pace on instead of letting requests reach a full queue
+    /// and drop. Always true for ideal memory.
+    #[must_use]
+    pub fn prefetch_channel_ready(&self, line: LineAddr, now: Cycle) -> bool {
+        self.ideal || self.dram.prefetch_ready(line, now)
     }
 
     /// A demand load of one cache line at cycle `now`.
@@ -173,7 +182,7 @@ impl MemorySystem {
     /// (for propagating fills upward).
     fn l2_demand(
         l2: &mut Cache,
-        dram: &mut Dram,
+        dram: &mut DramBackend,
         line: LineAddr,
         now: Cycle,
     ) -> (AccessResult, Cycle) {
@@ -195,7 +204,7 @@ impl MemorySystem {
             ProbeResult::Miss => {
                 // A full MSHR file stalls the demand until a slot frees.
                 let issue_at = l2.mshr_free_at(now);
-                let fill_done = dram.fetch_line(issue_at, true);
+                let fill_done = dram.demand_fetch(line, issue_at);
                 l2.install(line, fill_done, false, now);
                 (
                     AccessResult {
@@ -249,9 +258,22 @@ impl MemorySystem {
             self.l2.note_prefetch_dropped();
             return PrefetchOutcome::Dropped;
         }
-        let fill_done = self.dram.fetch_line(now, false);
+        // Channel-level arbitration: a full per-channel request queue
+        // rejects the speculative fill (demands are never gated here —
+        // they preempt the queue inside the backend).
+        let (fill_done, queue_delay) = match self.dram.prefetch_fetch(line, now) {
+            ChannelPrefetch::Scheduled {
+                fill_done,
+                queue_delay,
+            } => (fill_done, queue_delay),
+            ChannelPrefetch::QueueFull => {
+                self.l2.note_prefetch_dropped();
+                return PrefetchOutcome::Dropped;
+            }
+        };
         self.track_prefetch(fill_done, now);
-        self.l2.install(line, fill_done, true, now);
+        self.l2
+            .install_speculative(line, fill_done, now, queue_delay);
         self.l2.note_prefetch_issued();
         if fill_nsb {
             if let Some(nsb) = &mut self.nsb {
@@ -503,6 +525,58 @@ mod tests {
             PrefetchOutcome::Dropped
         );
         assert_eq!(mem.stats().l2.prefetch_dropped.get(), 1);
+    }
+
+    #[test]
+    fn prefetch_dropped_when_channel_queue_full() {
+        let cfg = MemoryConfig {
+            prefetch_mshrs: 64, // MSHRs never the bottleneck here
+            dram: DramConfig {
+                queue_depth: 2,
+                ..DramConfig::default()
+            },
+            ..MemoryConfig::default()
+        };
+        let mut mem = MemorySystem::new(cfg);
+        // One on the bus + two queued fill the channel's queue.
+        for i in 1..=3u64 {
+            assert!(matches!(
+                mem.prefetch_line(LineAddr::new(i), 0, false),
+                PrefetchOutcome::Issued { .. }
+            ));
+        }
+        assert!(!mem.prefetch_channel_ready(LineAddr::new(4), 0));
+        assert_eq!(
+            mem.prefetch_line(LineAddr::new(4), 0, false),
+            PrefetchOutcome::Dropped
+        );
+        assert_eq!(mem.stats().l2.prefetch_dropped.get(), 1);
+        assert_eq!(mem.stats().dram.pf_queue_rejected.get(), 1);
+        // A demand still gets served ahead of the speculative backlog.
+        let r = mem.demand_line(LineAddr::new(5), 0);
+        let dram = DramConfig::default();
+        assert_eq!(
+            r.ready_at,
+            dram.line_transfer_cycles() + dram.latency + dram.line_transfer_cycles()
+        );
+    }
+
+    #[test]
+    fn two_channels_overlap_disjoint_misses() {
+        let cfg = MemoryConfig {
+            dram: DramConfig::default().with_channels(2),
+            ..MemoryConfig::default()
+        };
+        let mut mem = MemorySystem::new(cfg);
+        // Adjacent lines stripe onto different channels: both cold misses
+        // complete as if each channel were alone.
+        let a = mem.demand_line(LineAddr::new(0), 0);
+        let b = mem.demand_line(LineAddr::new(1), 0);
+        assert_eq!(a.ready_at, b.ready_at);
+        let s = mem.stats();
+        assert_eq!(s.dram.channels.len(), 2);
+        assert_eq!(s.dram.channels[0].demand_lines.get(), 1);
+        assert_eq!(s.dram.channels[1].demand_lines.get(), 1);
     }
 
     #[test]

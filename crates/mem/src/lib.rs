@@ -2,8 +2,10 @@
 //!
 //! Models the paper's memory system (§IV-A, Fig. 3): an optional in-NPU
 //! non-blocking speculative buffer (NSB) in front of a shared L2 cache,
-//! backed by a bandwidth-limited DRAM channel, plus the NPU scratchpad for
-//! dense operands.
+//! backed by a multi-channel, bandwidth-limited DRAM backend
+//! ([`DramBackend`]: line-address interleaved channels, bounded
+//! per-channel prefetch queues, demand-over-prefetch arbitration), plus
+//! the NPU scratchpad for dense operands.
 //!
 //! # Timing model
 //!
@@ -36,7 +38,7 @@ pub mod stats;
 
 pub use cache::{Cache, PrefetchLifeEvent, ProbeResult};
 pub use config::{CacheConfig, DramConfig, MemoryConfig};
-pub use dram::Dram;
+pub use dram::{ChannelPrefetch, DramBackend};
 pub use hierarchy::{AccessOutcome, AccessResult, MemorySystem, PrefetchOutcome};
 pub use scratchpad::Scratchpad;
-pub use stats::{CacheStats, DramStats, MemoryStats};
+pub use stats::{CacheStats, ChannelStats, DramStats, MemoryStats};

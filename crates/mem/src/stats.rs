@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use nvr_common::Counter;
+use nvr_common::{Counter, Histogram};
 
 /// Per-cache-level counters.
 ///
@@ -96,7 +96,36 @@ impl fmt::Display for CacheStats {
     }
 }
 
-/// Off-chip channel counters.
+/// Per-channel counters of the multi-channel DRAM backend.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ChannelStats {
+    /// Lines this channel fetched on behalf of demand misses.
+    pub demand_lines: Counter,
+    /// Lines this channel fetched on behalf of prefetches.
+    pub prefetch_lines: Counter,
+    /// Cycles this channel spent transferring data (all traffic classes).
+    pub busy_cycles: Counter,
+    /// Queue delay (cycles between arrival and scheduled bus slot) of
+    /// every speculative fill this channel accepted. Demand preemption
+    /// and bus backlog both show up here.
+    pub queue_delay: Histogram,
+}
+
+impl ChannelStats {
+    /// Channel utilisation over `elapsed` cycles (`busy / elapsed`, 0 when
+    /// `elapsed` is 0).
+    #[must_use]
+    pub fn utilisation(&self, elapsed: u64) -> f64 {
+        if elapsed == 0 {
+            0.0
+        } else {
+            self.busy_cycles.get() as f64 / elapsed as f64
+        }
+    }
+}
+
+/// Off-chip backend counters: workload-class aggregates plus one
+/// [`ChannelStats`] entry per configured channel.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct DramStats {
     /// Lines fetched on behalf of demand misses.
@@ -107,21 +136,46 @@ pub struct DramStats {
     pub write_bytes: Counter,
     /// Dense DMA read bytes (scratchpad fills), which bypass the caches.
     pub dma_bytes: Counter,
-    /// Cycles the channel spent transferring data.
+    /// Cycles spent transferring data, summed over all channels.
     pub busy_cycles: Counter,
+    /// Speculative fills rejected because a channel's prefetch queue was
+    /// full (the arbitration's back-pressure signal).
+    pub pf_queue_rejected: Counter,
+    /// Per-channel counters, one entry per configured channel.
+    pub channels: Vec<ChannelStats>,
 }
 
 impl DramStats {
-    /// Total lines moved over the channel.
+    /// Total lines moved over the backend.
     #[must_use]
     pub fn total_lines(&self) -> u64 {
         self.demand_lines.get() + self.prefetch_lines.get()
     }
 
-    /// Total read bytes moved over the channel.
+    /// Total read bytes moved over the backend.
     #[must_use]
     pub fn read_bytes(&self) -> u64 {
         self.total_lines() * nvr_common::LINE_BYTES
+    }
+
+    /// Per-channel utilisation over `elapsed` cycles, in channel order.
+    #[must_use]
+    pub fn channel_utilisation(&self, elapsed: u64) -> Vec<f64> {
+        self.channels
+            .iter()
+            .map(|c| c.utilisation(elapsed))
+            .collect()
+    }
+
+    /// The speculative-fill queue-delay distribution merged across all
+    /// channels (empty when no prefetch was ever accepted).
+    #[must_use]
+    pub fn queue_delay_merged(&self) -> Histogram {
+        let mut merged = Histogram::new();
+        for c in &self.channels {
+            merged.merge(&c.queue_delay);
+        }
+        merged
     }
 }
 
@@ -129,10 +183,12 @@ impl fmt::Display for DramStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "DRAM: {} demand lines, {} prefetch lines, {} write bytes",
+            "DRAM[{}ch]: {} demand lines, {} prefetch lines, {} write bytes, {} queue-rejected",
+            self.channels.len().max(1),
             self.demand_lines.get(),
             self.prefetch_lines.get(),
             self.write_bytes.get(),
+            self.pf_queue_rejected.get(),
         )
     }
 }
@@ -244,5 +300,24 @@ mod tests {
         d.prefetch_lines.add(3);
         assert_eq!(d.total_lines(), 5);
         assert_eq!(d.read_bytes(), 5 * 64);
+    }
+
+    #[test]
+    fn channel_utilisation_and_queue_delay_merge() {
+        let mut d = DramStats {
+            channels: vec![ChannelStats::default(), ChannelStats::default()],
+            ..DramStats::default()
+        };
+        d.channels[0].busy_cycles.add(50);
+        d.channels[1].busy_cycles.add(100);
+        d.channels[0].queue_delay.record(4);
+        d.channels[1].queue_delay.record(12);
+        let util = d.channel_utilisation(100);
+        assert!((util[0] - 0.5).abs() < 1e-12);
+        assert!((util[1] - 1.0).abs() < 1e-12);
+        let merged = d.queue_delay_merged();
+        assert_eq!(merged.count(), 2);
+        assert_eq!(merged.sum(), 16);
+        assert_eq!(d.channel_utilisation(0), vec![0.0, 0.0]);
     }
 }

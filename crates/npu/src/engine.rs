@@ -257,6 +257,7 @@ impl NpuEngine {
             index_line_misses: counters.index_line_misses,
             mem: mem.stats(),
             dram_utilisation: mem.dram().utilisation(total_cycles.max(1)),
+            channel_utilisation: mem.dram().channel_utilisation(total_cycles.max(1)),
         }
     }
 

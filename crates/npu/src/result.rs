@@ -35,8 +35,11 @@ pub struct RunResult {
     pub index_line_misses: u64,
     /// Memory-system statistics snapshot (finalised).
     pub mem: MemoryStats,
-    /// DRAM channel utilisation over the run.
+    /// Aggregate DRAM utilisation over the run: busy cycles as a
+    /// fraction of the capacity of all channels.
     pub dram_utilisation: f64,
+    /// Per-channel DRAM utilisation over the run, in channel order.
+    pub channel_utilisation: Vec<f64>,
 }
 
 impl RunResult {
@@ -69,6 +72,13 @@ impl RunResult {
             1.0 - (self.compute_cycles.min(self.total_cycles) as f64 / self.total_cycles as f64)
         }
     }
+
+    /// The busiest channel's utilisation — the saturation signal channel
+    /// scaling studies care about (0 when no channel data was recorded).
+    #[must_use]
+    pub fn max_channel_utilisation(&self) -> f64 {
+        self.channel_utilisation.iter().copied().fold(0.0, f64::max)
+    }
 }
 
 #[cfg(test)]
@@ -89,6 +99,7 @@ mod tests {
             index_line_misses: 4,
             mem: MemoryStats::default(),
             dram_utilisation: 0.5,
+            channel_utilisation: vec![0.4, 0.6],
         }
     }
 
@@ -98,6 +109,7 @@ mod tests {
         assert!((r.batch_miss_rate() - 0.5).abs() < 1e-12);
         assert!((r.element_miss_rate() - 0.1).abs() < 1e-12);
         assert!((r.memory_bound_fraction() - 0.75).abs() < 1e-12);
+        assert!((r.max_channel_utilisation() - 0.6).abs() < 1e-12);
     }
 
     #[test]

@@ -24,6 +24,11 @@ pub struct TimelinessReport {
     /// Issue→first-use slack distribution, in cycles, over all used
     /// prefetches (timely and late).
     pub slack: Histogram,
+    /// DRAM-channel queue delay (arrival → scheduled bus slot) of every
+    /// issued prefetch, in cycles — how much of a late fill was
+    /// arbitration (demand preemption, bus backlog) rather than
+    /// prediction distance.
+    pub queue_delay: Histogram,
     /// Prefetches whose fill completed before the first demand touch.
     pub timely: u64,
     /// Prefetches demanded mid-fill.

@@ -206,13 +206,23 @@ impl DvrPrefetcher {
         true
     }
 
-    /// Issues queued target prefetches at up to `issue_per_cycle` per cycle.
+    /// Issues queued target prefetches at up to `issue_per_cycle` per
+    /// cycle. Lines whose DRAM channel's prefetch queue is full are held
+    /// back (order preserved) and retried next cycle, mirroring the
+    /// per-channel back-pressure the paper grants every queue-bearing
+    /// prefetcher.
     fn drain_queue(&mut self, mem: &mut MemorySystem) {
         if let Some(ep) = &mut self.episode {
             let n = ep.queue.len().min(self.cfg.issue_per_cycle);
+            let mut deferred = Vec::new();
             for addr in ep.queue.drain(..n) {
-                mem.prefetch_line(addr.line(), self.clock, false);
+                if mem.prefetch_channel_ready(addr.line(), self.clock) {
+                    mem.prefetch_line(addr.line(), self.clock, false);
+                } else {
+                    deferred.push(addr);
+                }
             }
+            ep.queue.splice(..0, deferred);
         }
     }
 }

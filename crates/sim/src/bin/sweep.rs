@@ -38,16 +38,17 @@ USAGE (figures mode, default):
 
 USAGE (grid mode):
   sweep --grid [--jobs N] [--workload W]... [--system S]... [--scale SCALE]...
-        [--width X]... [--seed S]... [--csv PATH|-] [--timings PATH]
+        [--width X]... [--seed S]... [--channels N] [--csv PATH|-] [--timings PATH]
 
 OPTIONS:
   --jobs N        worker threads (default: available parallelism)
-  --figure NAME   fig1b|fig5|fig6|fig6b|fig7|fig8|fig9|headline|table1|table2 (repeatable)
+  --figure NAME   fig1b|fig5|fig6|fig6b|fig7|fig7b|fig8|fig9|headline|table1|table2 (repeatable)
   --workload W    DS|GAT|GCN|GSABT|H2O|MK|SCN|ST (repeatable; grid mode)
-  --system S      InO|OoO|Stream|IMP|DVR|NVR (repeatable; grid mode)
+  --system S      InO|OoO|Stream|IMP|DVR|NVR|NVR+NSB (repeatable; grid mode)
   --scale SCALE   tiny|default|large (repeatable in grid mode)
   --width X       int8|fp16|int32 (repeatable; grid mode)
   --seed S        u64 seed (repeatable in grid mode)
+  --channels N    DRAM channel count of the grid's memory system (grid mode)
   --csv PATH      grid mode: write the deterministic result CSV (`-` = stdout)
   --timings PATH  write wall-clock CSV (figures: per figure; grid: per cell)
   --help          this text
@@ -63,6 +64,7 @@ struct Args {
     scales: Vec<Scale>,
     widths: Vec<DataWidth>,
     seeds: Vec<u64>,
+    channels: Option<usize>,
     csv: Option<String>,
     timings: Option<String>,
 }
@@ -77,6 +79,7 @@ fn parse_args() -> Result<Args, String> {
         scales: Vec::new(),
         widths: Vec::new(),
         seeds: Vec::new(),
+        channels: None,
         csv: None,
         timings: None,
     };
@@ -121,6 +124,15 @@ fn parse_args() -> Result<Args, String> {
                         .map_err(|e| format!("--seed: {e}"))?,
                 );
             }
+            "--channels" => {
+                let n: usize = value("--channels")?
+                    .parse()
+                    .map_err(|e| format!("--channels: {e}"))?;
+                if n == 0 {
+                    return Err("--channels must be at least 1".into());
+                }
+                args.channels = Some(n);
+            }
             "--csv" => args.csv = Some(value("--csv")?),
             "--timings" => args.timings = Some(value("--timings")?),
             other => return Err(format!("unknown argument `{other}`")),
@@ -141,6 +153,11 @@ fn parse_args() -> Result<Args, String> {
         if args.csv.is_some() {
             return Err(
                 "--csv only applies to grid mode (figures mode writes --timings instead)".into(),
+            );
+        }
+        if args.channels.is_some() {
+            return Err(
+                "--channels only applies to grid mode (the fig7b driver sweeps channels)".into(),
             );
         }
         if args.scales.len() > 1 || args.seeds.len() > 1 {
@@ -202,13 +219,17 @@ fn run_grid(args: &Args) -> Result<(), String> {
         }
     }
     let defaults = SweepSpec::default();
+    let mut mem_cfg = defaults.mem_cfg;
+    if let Some(channels) = args.channels {
+        mem_cfg.dram.channels = channels;
+    }
     let spec = SweepSpec {
         workloads: pick(&args.workloads, defaults.workloads),
         systems: pick(&args.systems, defaults.systems),
         scales: pick(&args.scales, defaults.scales),
         widths: pick(&args.widths, defaults.widths),
         seeds: pick(&args.seeds, defaults.seeds),
-        mem_cfg: defaults.mem_cfg,
+        mem_cfg,
     };
     let results = run_sweep(&spec, args.jobs);
     match args.csv.as_deref() {

@@ -9,6 +9,7 @@ pub mod fig5;
 pub mod fig6;
 pub mod fig6b;
 pub mod fig7;
+pub mod fig7b;
 pub mod fig8;
 pub mod fig9;
 pub mod headline;
@@ -31,6 +32,8 @@ pub enum FigureId {
     Fig6b,
     /// Fig. 7 — bandwidth allocation.
     Fig7,
+    /// Fig. 7b′ — DRAM channel scaling (1/2/4 channels x workloads).
+    Fig7b,
     /// Fig. 8 — LLM system evaluation.
     Fig8,
     /// Fig. 9 — NSB/L2 sizing + point-cloud density sensitivity.
@@ -45,12 +48,13 @@ pub enum FigureId {
 
 impl FigureId {
     /// Every artifact, in the paper's order of appearance.
-    pub const ALL: [FigureId; 10] = [
+    pub const ALL: [FigureId; 11] = [
         FigureId::Fig1b,
         FigureId::Fig5,
         FigureId::Fig6,
         FigureId::Fig6b,
         FigureId::Fig7,
+        FigureId::Fig7b,
         FigureId::Fig8,
         FigureId::Fig9,
         FigureId::Headline,
@@ -67,6 +71,7 @@ impl FigureId {
             FigureId::Fig6 => "fig6",
             FigureId::Fig6b => "fig6b",
             FigureId::Fig7 => "fig7",
+            FigureId::Fig7b => "fig7b",
             FigureId::Fig8 => "fig8",
             FigureId::Fig9 => "fig9",
             FigureId::Headline => "headline",
@@ -94,6 +99,7 @@ impl FigureId {
             FigureId::Fig6 => fig6::run_jobs(scale, seed, jobs).to_string(),
             FigureId::Fig6b => fig6b::run_jobs(scale, seed, jobs).to_string(),
             FigureId::Fig7 => fig7::run_jobs(scale, seed, jobs).to_string(),
+            FigureId::Fig7b => fig7b::run_jobs(scale, seed, jobs).to_string(),
             FigureId::Fig8 => fig8::run_jobs(seed, scale == Scale::Tiny, jobs).to_string(),
             FigureId::Fig9 => fig9::run_jobs(scale, seed, jobs).to_string(),
             FigureId::Headline => headline::run_jobs(scale, seed, jobs).to_string(),

@@ -217,7 +217,7 @@ mod tests {
         run_panel(Scale::Tiny, 11, DataWidth::Int8, false, 2, &mut bars);
         let fig = Fig5 { bars };
         let panel = fig.panel(DataWidth::Int8, false);
-        assert_eq!(panel.len(), 8 * 6);
+        assert_eq!(panel.len(), 8 * 7);
         for w in WorkloadId::ALL {
             let get = |sys: &str| {
                 panel

@@ -8,8 +8,6 @@
 use std::fmt;
 
 use nvr_common::DataWidth;
-use nvr_core::nsb_config;
-use nvr_mem::MemoryConfig;
 use nvr_workloads::{Scale, WorkloadId};
 
 use crate::metrics::{coverage, pollution};
@@ -36,6 +34,9 @@ pub struct AccCov {
     /// the fill), for systems that track prefetch lifetimes (NVR). The
     /// full slack distribution is the fig. 6b′ driver's subject.
     pub late_fraction: Option<f64>,
+    /// Busiest DRAM channel's utilisation of the run — the saturation
+    /// signal behind the residual-gap analysis (GCN runs near 0.9).
+    pub channel_util: f64,
 }
 
 /// Panel (c): data-movement split of one system.
@@ -89,6 +90,19 @@ impl Fig6 {
         } else {
             vals.iter().sum::<f64>() / vals.len() as f64
         }
+    }
+
+    /// Average busiest-channel utilisation of one prefetcher across
+    /// workloads.
+    #[must_use]
+    pub fn avg_channel_util(&self, system: &str) -> f64 {
+        let vals: Vec<f64> = self
+            .cells
+            .iter()
+            .filter(|c| c.system == system)
+            .map(|c| c.channel_util)
+            .collect();
+        nvr_common::mean(&vals)
     }
 
     /// Off-chip reduction factor of NVR vs InO (panel c).
@@ -186,70 +200,44 @@ pub fn run_jobs_with_workloads(
                 coverage: coverage(base_misses, misses),
                 pollution: pollution(base_misses, misses),
                 late_fraction: o.timeliness.as_ref().map(|t| t.late_fraction()),
+                channel_util: o.result.max_channel_utilisation(),
             });
         }
     }
 
     // Panel (c): DS-class data movement, InO vs NVR vs NVR+NSB. A full
-    // run already has the plain DS cells in `grid`; only subset runs
-    // (tests) need the mini-sweep, and the NSB configuration always does.
-    let ds = SweepSpec {
-        workloads: vec![WorkloadId::Ds],
-        systems: vec![SystemKind::InOrder, SystemKind::Nvr],
-        scales: vec![scale],
-        widths: vec![width],
-        seeds: vec![seed],
-        ..SweepSpec::default()
-    };
+    // run already has every DS cell in `grid` (NVR+NSB is a first-class
+    // system); only subset runs (tests) need the mini-sweep.
     let mini;
     let plain = if workloads.contains(&WorkloadId::Ds) {
         &grid
     } else {
-        mini = run_sweep(&ds, jobs);
+        mini = run_sweep(
+            &SweepSpec {
+                workloads: vec![WorkloadId::Ds],
+                systems: vec![SystemKind::InOrder, SystemKind::Nvr, SystemKind::NvrNsb],
+                scales: vec![scale],
+                widths: vec![width],
+                seeds: vec![seed],
+                ..SweepSpec::default()
+            },
+            jobs,
+        );
         &mini
     };
-    let nsb_sweep = run_sweep(
-        &SweepSpec {
-            systems: vec![SystemKind::Nvr],
-            mem_cfg: MemoryConfig::default().with_nsb(nsb_config(16)),
-            ..ds
-        },
-        jobs,
-    );
     let mut movement = Vec::new();
-    let ino = &plain
-        .get(WorkloadId::Ds, SystemKind::InOrder, scale, width, seed)
-        .expect("cell present")
-        .outcome;
-    movement.push(Movement {
-        system: "InO".into(),
-        offchip_lines: ino.result.mem.demand_offchip_lines(),
-        onchip_hits: ino.result.mem.l2.demand_hits.get(),
-    });
-    let nvr = &plain
-        .get(WorkloadId::Ds, SystemKind::Nvr, scale, width, seed)
-        .expect("cell present")
-        .outcome;
-    movement.push(Movement {
-        system: "NVR".into(),
-        offchip_lines: nvr.result.mem.demand_offchip_lines(),
-        onchip_hits: nvr.result.mem.l2.demand_hits.get(),
-    });
-    let nsb = &nsb_sweep
-        .get(WorkloadId::Ds, SystemKind::Nvr, scale, width, seed)
-        .expect("cell present")
-        .outcome;
-    let nsb_hits = nsb
-        .result
-        .mem
-        .nsb
-        .as_ref()
-        .map_or(0, |s| s.demand_hits.get());
-    movement.push(Movement {
-        system: "NVR+NSB".into(),
-        offchip_lines: nsb.result.mem.demand_offchip_lines(),
-        onchip_hits: nsb.result.mem.l2.demand_hits.get() + nsb_hits,
-    });
+    for system in [SystemKind::InOrder, SystemKind::Nvr, SystemKind::NvrNsb] {
+        let o = &plain
+            .get(WorkloadId::Ds, system, scale, width, seed)
+            .expect("cell present")
+            .outcome;
+        let nsb_hits = o.result.mem.nsb.as_ref().map_or(0, |s| s.demand_hits.get());
+        movement.push(Movement {
+            system: system.label().into(),
+            offchip_lines: o.result.mem.demand_offchip_lines(),
+            onchip_hits: o.result.mem.l2.demand_hits.get() + nsb_hits,
+        });
+    }
 
     Fig6 { cells, movement }
 }
@@ -267,6 +255,7 @@ impl fmt::Display for Fig6 {
             "coverage".into(),
             "pollution".into(),
             "late frac".into(),
+            "ch util".into(),
         ]);
         for c in &self.cells {
             t.row(vec![
@@ -280,10 +269,11 @@ impl fmt::Display for Fig6 {
                     fmt3(c.pollution)
                 ),
                 c.late_fraction.map_or_else(|| "-".into(), fmt3),
+                fmt3(c.channel_util),
             ]);
         }
         writeln!(f, "{t}")?;
-        for s in ["Stream", "IMP", "DVR", "NVR"] {
+        for s in ["Stream", "IMP", "DVR", "NVR", "NVR+NSB"] {
             writeln!(
                 f,
                 "  {s}: avg accuracy {:.2}, avg coverage {:.2}",
@@ -291,6 +281,13 @@ impl fmt::Display for Fig6 {
                 self.avg_coverage(s)
             )?;
         }
+        writeln!(
+            f,
+            "channel_util (busiest channel, mean across workloads): {}",
+            ["Stream", "IMP", "DVR", "NVR", "NVR+NSB"]
+                .map(|s| format!("{s} {:.2}", self.avg_channel_util(s)))
+                .join(", ")
+        )?;
         writeln!(f)?;
         writeln!(
             f,

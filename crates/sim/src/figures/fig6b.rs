@@ -2,21 +2,24 @@
 //!
 //! Fig. 6's accuracy/coverage panels say how much of the miss stream NVR
 //! covers; this driver says how much of that coverage arrived *on time*.
-//! For every workload it runs NVR twice — the pipelined cross-tile
-//! lookahead at the default depth ([`nvr_core::NvrConfig::lookahead_tiles`])
-//! and a `lookahead_tiles = 1` variant that degenerates to the old
-//! one-window-at-a-time episode loop — and reports the measured
-//! per-prefetch outcomes from the lifetime log: timely / late /
-//! evicted-unused counts, and the issue→first-use slack distribution
+//! For every workload it runs three NVR variants — a `lookahead_tiles =
+//! 1` configuration that degenerates to the old one-window-at-a-time
+//! episode loop, the pipelined cross-tile lookahead at the default depth
+//! ([`nvr_core::NvrConfig::lookahead_tiles`]), and the pipelined engine
+//! filling the paper's NSB (the NVR+NSB system) — and reports the
+//! measured per-prefetch outcomes from the lifetime log: timely / late /
+//! evicted-unused counts, the issue→first-use slack distribution
 //! (cycles between a prefetch entering the cache and its first demand
-//! touch). "Late" prefetches are the paper's residual-stall culprit on
-//! GCN/GSA-BT-class workloads: the line was predicted correctly but the
-//! demand arrived mid-fill.
+//! touch), and the mean DRAM-channel queue delay (how much of the
+//! lateness is arbitration rather than prediction distance). "Late"
+//! prefetches are the paper's residual-stall culprit on GCN/GSA-BT-class
+//! workloads: the line was predicted correctly but the demand arrived
+//! mid-fill.
 
 use std::fmt;
 
 use nvr_common::DataWidth;
-use nvr_core::{NvrConfig, NvrPrefetcher};
+use nvr_core::{nsb_config, NvrConfig, NvrPrefetcher};
 use nvr_mem::{MemoryConfig, MemorySystem};
 use nvr_npu::{NpuConfig, NpuEngine};
 use nvr_prefetch::{NullPrefetcher, Prefetcher, TimelinessReport};
@@ -47,7 +50,7 @@ pub struct TimelinessCell {
 /// The Fig. 6b′ data set.
 #[derive(Debug, Clone, Default)]
 pub struct Fig6b {
-    /// Two cells (single-window, pipelined) per workload.
+    /// Three cells (single-window, pipelined, pipelined+NSB) per workload.
     pub cells: Vec<TimelinessCell>,
 }
 
@@ -61,16 +64,22 @@ impl Fig6b {
     }
 }
 
-/// The two compared lookahead variants: the pre-pipelining single-window
-/// episode loop, and the pipelined cross-tile default.
-fn variants() -> [(&'static str, NvrConfig); 2] {
+/// The compared variants: the pre-pipelining single-window episode loop,
+/// the pipelined cross-tile default, and the pipelined engine filling the
+/// paper's 16 KB NSB (§IV-G) — the NVR+NSB system's timeliness bar.
+fn variants() -> [(&'static str, NvrConfig, MemoryConfig); 3] {
     let single = NvrConfig {
         lookahead_tiles: 1,
         ..NvrConfig::default()
     };
     [
-        ("single-window", single),
-        ("pipelined", NvrConfig::default()),
+        ("single-window", single, MemoryConfig::default()),
+        ("pipelined", NvrConfig::default(), MemoryConfig::default()),
+        (
+            "pipelined+NSB",
+            NvrConfig::with_nsb(),
+            MemoryConfig::default().with_nsb(nsb_config(16)),
+        ),
     ]
 }
 
@@ -108,9 +117,9 @@ pub fn run_jobs_with_workloads(
             let base = engine.run(&program, &mut mem_base, &mut NullPrefetcher::new());
             variants()
                 .into_iter()
-                .map(|(variant, cfg)| {
+                .map(|(variant, cfg, mem_cfg)| {
                     let depth = cfg.lookahead_tiles;
-                    let mut mem = MemorySystem::new(MemoryConfig::default());
+                    let mut mem = MemorySystem::new(mem_cfg);
                     let mut nvr = NvrPrefetcher::new(cfg);
                     let r = engine.run(&program, &mut mem, &mut nvr);
                     nvr.finalize_run(&mut mem);
@@ -149,6 +158,7 @@ impl fmt::Display for Fig6b {
             "evicted".into(),
             "late frac".into(),
             "slack mean".into(),
+            "qd mean".into(),
         ]);
         for c in &self.cells {
             t.row(vec![
@@ -161,6 +171,7 @@ impl fmt::Display for Fig6b {
                 c.timeliness.evicted_unused.to_string(),
                 fmt3(c.timeliness.late_fraction()),
                 format!("{:.0}", c.timeliness.slack.mean()),
+                format!("{:.0}", c.timeliness.queue_delay.mean()),
             ]);
         }
         writeln!(f, "{t}")?;
@@ -183,7 +194,7 @@ mod tests {
     #[test]
     fn timeliness_cells_have_measured_outcomes() {
         let fig = run_jobs_with_workloads(Scale::Tiny, 3, 1, &[WorkloadId::Ds]);
-        assert_eq!(fig.cells.len(), 2);
+        assert_eq!(fig.cells.len(), 3);
         for c in &fig.cells {
             assert!(
                 c.timeliness.used() > 0,

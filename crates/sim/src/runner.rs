@@ -1,7 +1,7 @@
 //! Comparable single runs of one program under one system configuration.
 
 use nvr_common::Cycle;
-use nvr_core::{NvrConfig, NvrPrefetcher};
+use nvr_core::{nsb_config, NvrConfig, NvrPrefetcher};
 use nvr_mem::{MemoryConfig, MemorySystem};
 use nvr_npu::{NpuConfig, NpuEngine, RunResult};
 use nvr_prefetch::{
@@ -9,7 +9,9 @@ use nvr_prefetch::{
 };
 use nvr_trace::NpuProgram;
 
-/// The six compared systems of Fig. 5 (§V-A "Comparison").
+/// The compared systems: the six of Fig. 5 (§V-A "Comparison") plus the
+/// paper's own NSB-backed configuration (§IV-G) as a first-class seventh
+/// system.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SystemKind {
     /// In-order Gemmini, no prefetching.
@@ -24,25 +26,32 @@ pub enum SystemKind {
     Dvr,
     /// In-order + NPU Vector Runahead (the paper's contribution).
     Nvr,
+    /// In-order + NVR filling a 16 KB NSB in front of the L2 (§IV-G).
+    /// Self-contained: when the sweep's memory configuration has no NSB,
+    /// this system adds the paper's default one itself, so it rides every
+    /// grid axis unchanged.
+    NvrNsb,
 }
 
 impl SystemKind {
-    /// All systems in the paper's bar order.
-    pub const ALL: [SystemKind; 6] = [
+    /// All systems in the paper's bar order (NVR+NSB appended).
+    pub const ALL: [SystemKind; 7] = [
         SystemKind::InOrder,
         SystemKind::OutOfOrder,
         SystemKind::Stream,
         SystemKind::Imp,
         SystemKind::Dvr,
         SystemKind::Nvr,
+        SystemKind::NvrNsb,
     ];
 
     /// The prefetcher-bearing systems of Fig. 6.
-    pub const PREFETCHERS: [SystemKind; 4] = [
+    pub const PREFETCHERS: [SystemKind; 5] = [
         SystemKind::Stream,
         SystemKind::Imp,
         SystemKind::Dvr,
         SystemKind::Nvr,
+        SystemKind::NvrNsb,
     ];
 
     /// Looks a system up by its paper label, case-insensitively.
@@ -63,6 +72,18 @@ impl SystemKind {
             SystemKind::Imp => "IMP",
             SystemKind::Dvr => "DVR",
             SystemKind::Nvr => "NVR",
+            SystemKind::NvrNsb => "NVR+NSB",
+        }
+    }
+
+    /// The memory configuration this system actually runs against:
+    /// [`SystemKind::NvrNsb`] adds the paper's default NSB when the given
+    /// configuration has none; every other system uses it as-is.
+    #[must_use]
+    pub fn effective_mem_cfg(self, mem_cfg: &MemoryConfig) -> MemoryConfig {
+        match self {
+            SystemKind::NvrNsb if mem_cfg.nsb.is_none() => mem_cfg.clone().with_nsb(nsb_config(16)),
+            _ => mem_cfg.clone(),
         }
     }
 
@@ -79,6 +100,7 @@ impl SystemKind {
             SystemKind::Stream => Box::new(StreamPrefetcher::default()),
             SystemKind::Imp => Box::new(ImpPrefetcher::default()),
             SystemKind::Dvr => Box::new(DvrPrefetcher::default()),
+            SystemKind::NvrNsb => Box::new(NvrPrefetcher::new(NvrConfig::with_nsb())),
             SystemKind::Nvr => {
                 let cfg = if mem_cfg.nsb.is_some() {
                     NvrConfig::with_nsb()
@@ -113,6 +135,19 @@ impl RunOutcome {
         self.result.total_cycles.saturating_sub(self.base_cycles)
     }
 
+    /// Per-channel DRAM utilisation of the timed run, in channel order.
+    #[must_use]
+    pub fn channel_utilisation(&self) -> &[f64] {
+        &self.result.channel_utilisation
+    }
+
+    /// Approximate `q`-quantile of the speculative-fill queue delay
+    /// (cycles a prefetch waited for a bus slot), merged across channels.
+    #[must_use]
+    pub fn queue_delay_percentile(&self, q: f64) -> u64 {
+        self.result.mem.dram.queue_delay_merged().percentile(q)
+    }
+
     /// Total latency normalised to `denom` cycles.
     #[must_use]
     pub fn normalised_total(&self, denom: Cycle) -> f64 {
@@ -126,19 +161,21 @@ impl RunOutcome {
     }
 }
 
-/// Runs `program` under `system` against `mem_cfg`, plus the paired
-/// ideal-memory run for the base/stall split.
+/// Runs `program` under `system` against `mem_cfg` (as adjusted by
+/// [`SystemKind::effective_mem_cfg`]), plus the paired ideal-memory run
+/// for the base/stall split.
 #[must_use]
 pub fn run_system(program: &NpuProgram, mem_cfg: &MemoryConfig, system: SystemKind) -> RunOutcome {
     let engine = NpuEngine::new(system.npu_config());
+    let mem_cfg = system.effective_mem_cfg(mem_cfg);
 
     let mut mem = MemorySystem::new(mem_cfg.clone());
-    let mut prefetcher = system.prefetcher(mem_cfg);
+    let mut prefetcher = system.prefetcher(&mem_cfg);
     let result = engine.run(program, &mut mem, prefetcher.as_mut());
     prefetcher.finalize_run(&mut mem);
     let timeliness = prefetcher.timeliness();
 
-    let mut ideal = MemorySystem::ideal(mem_cfg.clone());
+    let mut ideal = MemorySystem::ideal(mem_cfg);
     let base = engine.run(program, &mut ideal, &mut NullPrefetcher::new());
 
     RunOutcome {
@@ -175,21 +212,39 @@ mod tests {
     }
 
     #[test]
-    fn nvr_is_fastest_system_on_ds() {
+    fn runahead_systems_lead_on_ds() {
         let p = program();
         let cfg = MemoryConfig::default();
         let totals: Vec<(SystemKind, u64)> = SystemKind::ALL
             .iter()
             .map(|&s| (s, run_system(&p, &cfg, s).result.total_cycles))
             .collect();
-        let nvr = totals
-            .iter()
-            .find(|(s, _)| *s == SystemKind::Nvr)
-            .expect("nvr present")
-            .1;
-        for (s, t) in &totals {
+        let of = |k: SystemKind| totals.iter().find(|(s, _)| *s == k).expect("present").1;
+        let nvr = of(SystemKind::Nvr);
+        for (s, t) in totals.iter().filter(|(s, _)| *s != SystemKind::NvrNsb) {
             assert!(nvr <= *t, "NVR {nvr} should not lose to {} {t}", s.label());
         }
+        // The NSB configuration must stay competitive with plain NVR (its
+        // win shows on reuse-heavy workloads; DS is coverage-bound).
+        let nsb = of(SystemKind::NvrNsb);
+        assert!(
+            nsb as f64 <= nvr as f64 * 1.02,
+            "NVR+NSB {nsb} regressed past NVR {nvr}"
+        );
+    }
+
+    #[test]
+    fn nvr_nsb_configures_its_own_buffer() {
+        let p = program();
+        let o = run_system(&p, &MemoryConfig::default(), SystemKind::NvrNsb);
+        let nsb = o.result.mem.nsb.as_ref().expect("NSB stats present");
+        assert!(nsb.demand_accesses() > 0, "demands go through the NSB");
+        // An explicitly NSB-bearing config is used unchanged.
+        let cfg = MemoryConfig::default().with_nsb(nvr_core::nsb_config(8));
+        assert_eq!(
+            SystemKind::NvrNsb.effective_mem_cfg(&cfg).nsb,
+            Some(nvr_core::nsb_config(8))
+        );
     }
 
     #[test]
@@ -200,6 +255,10 @@ mod tests {
         let t = nvr.timeliness.expect("NVR tracks prefetch lifetimes");
         assert!(t.used() > 0, "NVR prefetches should be used");
         assert_eq!(t.slack.count(), t.used(), "one slack sample per use");
+        assert!(
+            t.queue_delay.count() > 0,
+            "issued prefetches record their channel queue delay"
+        );
         let ino = run_system(&p, &cfg, SystemKind::InOrder);
         assert!(ino.timeliness.is_none());
     }
@@ -207,6 +266,14 @@ mod tests {
     #[test]
     fn labels_match_paper() {
         let labels: Vec<_> = SystemKind::ALL.iter().map(|s| s.label()).collect();
-        assert_eq!(labels, ["InO", "OoO", "Stream", "IMP", "DVR", "NVR"]);
+        assert_eq!(
+            labels,
+            ["InO", "OoO", "Stream", "IMP", "DVR", "NVR", "NVR+NSB"]
+        );
+        assert_eq!(
+            SystemKind::from_label("nvr+nsb"),
+            Some(SystemKind::NvrNsb),
+            "grid filters accept the NSB label"
+        );
     }
 }

@@ -209,24 +209,69 @@ impl SweepResults {
         )
     }
 
+    /// Mean speedup and 95% CI half-width of `cell`'s seed group — every
+    /// cell sharing its (workload, system, scale, width) across the
+    /// sweep's seed axis. `None` when no cell of the group has an
+    /// in-order baseline; the half-width is 0 for a single seed.
+    #[must_use]
+    pub fn speedup_stats(&self, cell: &SweepCell) -> Option<(f64, f64)> {
+        let j = &cell.job;
+        let speedups: Vec<f64> = self
+            .cells
+            .iter()
+            .filter(|c| {
+                c.job.workload == j.workload
+                    && c.job.system == j.system
+                    && c.job.scale == j.scale
+                    && c.job.width == j.width
+            })
+            .filter_map(|c| self.speedup_vs_inorder(c))
+            .collect();
+        if speedups.is_empty() {
+            None
+        } else {
+            Some(nvr_common::mean_ci95(&speedups))
+        }
+    }
+
     /// Deterministic CSV of the numeric results (no wall-clock columns, so
     /// `jobs = 1` and `jobs = N` emit identical bytes). The trailing
-    /// timeliness columns (`pf_timely`, `pf_late`, `pf_evicted_unused`,
-    /// `pf_slack_mean`) are measured per-prefetch outcomes and are zero
-    /// for systems that do not track prefetch lifetimes.
+    /// column groups:
+    ///
+    /// * `pf_timely..pf_qd_p95` — measured per-prefetch outcomes (zero
+    ///   for systems without lifetime tracking) plus the DRAM channel
+    ///   queue-delay p50/p95 of all accepted speculative fills;
+    /// * `channels,ch_util_mean,ch_util_max` — DRAM channel count and
+    ///   per-channel utilisation summary of the timed run;
+    /// * `speedup,speedup_mean,speedup_ci95` — speedup vs the in-order
+    ///   baseline cell (`-` when the sweep has none) and its mean ± 95%
+    ///   CI across the seed axis (the half-width is 0 for one seed).
     #[must_use]
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
             "workload,system,scale,width,seed,cycles,base_cycles,\
              l2_demand_misses,l2_demand_hits,dram_demand_lines,\
              prefetch_issued,prefetch_useful,prefetch_late,\
-             pf_timely,pf_late,pf_evicted_unused,pf_slack_mean\n",
+             pf_timely,pf_late,pf_evicted_unused,pf_slack_mean,\
+             pf_qd_p50,pf_qd_p95,channels,ch_util_mean,ch_util_max,\
+             speedup,speedup_mean,speedup_ci95\n",
         );
         for c in &self.cells {
             let m = &c.outcome.result.mem;
             let t = c.outcome.timeliness.clone().unwrap_or_default();
+            let util = c.outcome.channel_utilisation();
+            let util_mean = nvr_common::mean(util);
+            let util_max = c.outcome.result.max_channel_utilisation();
+            let qd = m.dram.queue_delay_merged();
+            let speedup = self
+                .speedup_vs_inorder(c)
+                .map_or_else(|| "-".into(), |s| format!("{s:.3}"));
+            let (sp_mean, sp_ci) = self.speedup_stats(c).map_or_else(
+                || ("-".into(), "-".into()),
+                |(m, ci)| (format!("{m:.3}"), format!("{ci:.3}")),
+            );
             out.push_str(&format!(
-                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{:.3}\n",
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{:.3},{},{},{},{:.3},{:.3},{},{},{}\n",
                 c.job.workload.short(),
                 c.job.system.label(),
                 c.job.scale,
@@ -244,6 +289,14 @@ impl SweepResults {
                 t.late,
                 t.evicted_unused,
                 t.slack.mean(),
+                qd.percentile(0.5),
+                qd.percentile(0.95),
+                util.len(),
+                util_mean,
+                util_max,
+                speedup,
+                sp_mean,
+                sp_ci,
             ));
         }
         out
@@ -289,7 +342,49 @@ impl fmt::Display for SweepResults {
                     .map_or_else(|| "-".into(), |s| format!("{}x", fmt3(s))),
             ]);
         }
-        write!(f, "{t}")
+        write!(f, "{t}")?;
+        // Multi-seed sweeps get a per-group aggregate: mean ± 95% CI of
+        // the speedup across the seed axis.
+        let mut seen: Vec<(&SweepCell, usize)> = Vec::new();
+        for c in &self.cells {
+            let group = |a: &SweepJob, b: &SweepJob| {
+                a.workload == b.workload
+                    && a.system == b.system
+                    && a.scale == b.scale
+                    && a.width == b.width
+            };
+            match seen.iter_mut().find(|(rep, _)| group(&rep.job, &c.job)) {
+                Some((_, n)) => *n += 1,
+                None => seen.push((c, 1)),
+            }
+        }
+        if seen.iter().any(|(_, n)| *n > 1) {
+            writeln!(f, "\nSeed aggregate — speedup mean ± 95% CI")?;
+            let mut agg = Table::new(vec![
+                "workload".into(),
+                "system".into(),
+                "scale".into(),
+                "width".into(),
+                "seeds".into(),
+                "speedup".into(),
+            ]);
+            for (rep, n) in &seen {
+                let cell = self.speedup_stats(rep).map_or_else(
+                    || "-".into(),
+                    |(m, ci)| format!("{}x ± {}", fmt3(m), fmt3(ci)),
+                );
+                agg.row(vec![
+                    rep.job.workload.short().into(),
+                    rep.job.system.label().into(),
+                    rep.job.scale.to_string(),
+                    rep.job.width.to_string(),
+                    n.to_string(),
+                    cell,
+                ]);
+            }
+            write!(f, "\n{agg}")?;
+        }
+        Ok(())
     }
 }
 
@@ -402,5 +497,55 @@ mod tests {
         let b = run_sweep(&spec, 4).to_csv();
         assert_eq!(a, b, "jobs=1 and jobs=4 CSVs must be identical");
         assert!(a.starts_with("workload,system,scale,width,seed,cycles"));
+        let header = a.lines().next().expect("header");
+        for col in ["ch_util_mean", "pf_qd_p50", "speedup_ci95", "channels"] {
+            assert!(header.contains(col), "missing CSV column {col}");
+        }
+    }
+
+    #[test]
+    fn multi_seed_aggregate_reports_mean_and_ci() {
+        let spec = SweepSpec {
+            workloads: vec![WorkloadId::Ds],
+            systems: vec![SystemKind::InOrder, SystemKind::Nvr],
+            scales: vec![Scale::Tiny],
+            widths: vec![DataWidth::Int8],
+            seeds: vec![1, 2, 3],
+            ..SweepSpec::default()
+        };
+        let results = run_sweep(&spec, 2);
+        let nvr = results
+            .get(
+                WorkloadId::Ds,
+                SystemKind::Nvr,
+                Scale::Tiny,
+                DataWidth::Int8,
+                2,
+            )
+            .expect("cell present");
+        let (mean, ci) = results.speedup_stats(nvr).expect("stats present");
+        assert!(mean > 1.0, "mean speedup {mean}");
+        assert!(ci >= 0.0);
+        // Every cell of the group reports the same aggregate.
+        let other = results
+            .get(
+                WorkloadId::Ds,
+                SystemKind::Nvr,
+                Scale::Tiny,
+                DataWidth::Int8,
+                3,
+            )
+            .expect("cell present");
+        assert_eq!(results.speedup_stats(other), Some((mean, ci)));
+        // The rendition carries the aggregate section.
+        let text = results.to_string();
+        assert!(text.contains("Seed aggregate"), "{text}");
+        // And the CSV repeats mean/ci per cell of the group.
+        let csv = results.to_csv();
+        let line = csv
+            .lines()
+            .find(|l| l.starts_with("DS,NVR") && l.contains(",2,"))
+            .expect("NVR row");
+        assert!(line.contains(&format!("{mean:.3}")));
     }
 }

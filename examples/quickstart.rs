@@ -1,5 +1,5 @@
-//! Quickstart: build one sparse workload and compare the six systems of the
-//! paper's Fig. 5 on it.
+//! Quickstart: build one sparse workload and compare the paper's six
+//! Fig. 5 systems plus the NSB-backed NVR configuration on it.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
@@ -35,5 +35,5 @@ fn main() {
             o.result.mem.prefetch_accuracy(),
         );
     }
-    println!("\nlower stall = less time blocked on cache misses; NVR should lead.");
+    println!("\nlower stall = less time blocked on cache misses; the NVR rows should lead.");
 }

@@ -63,14 +63,20 @@ fn width_changes_timing_not_structure() {
 fn parallel_sweep_matches_serial_bit_for_bit() {
     // The sweep runner must be a pure parallelisation: fanning the grid
     // out over 4 workers may not change a single counter relative to the
-    // single-threaded run of the same spec.
+    // single-threaded run of the same spec. The spec deliberately covers
+    // the NSB-backed system and a two-channel DRAM backend, so the
+    // demand/prefetch arbitration and channel interleave are part of the
+    // bit-equality contract.
     let spec = SweepSpec {
         workloads: vec![WorkloadId::Ds, WorkloadId::Mk, WorkloadId::Gat],
-        systems: vec![SystemKind::InOrder, SystemKind::Nvr],
+        systems: vec![SystemKind::InOrder, SystemKind::Nvr, SystemKind::NvrNsb],
         scales: vec![Scale::Tiny],
         widths: vec![DataWidth::Fp16],
         seeds: vec![777, 778],
-        ..SweepSpec::default()
+        mem_cfg: MemoryConfig {
+            dram: DramConfig::default().with_channels(2),
+            ..MemoryConfig::default()
+        },
     };
     let serial = run_sweep(&spec, 1);
     let parallel = run_sweep(&spec, 4);
@@ -113,7 +119,16 @@ fn parallel_sweep_matches_serial_bit_for_bit() {
             "{}: timeliness histogram differs across worker counts",
             a.job.key()
         );
-        if a.job.system == SystemKind::Nvr {
+        // Per-channel counters (utilisation inputs, queue-delay
+        // histograms) are part of the bit-equality contract too.
+        assert_eq!(
+            a.outcome.result.mem.dram.channels,
+            b.outcome.result.mem.dram.channels,
+            "{}: per-channel stats differ across worker counts",
+            a.job.key()
+        );
+        assert_eq!(a.outcome.result.mem.dram.channels.len(), 2);
+        if a.job.system == SystemKind::Nvr || a.job.system == SystemKind::NvrNsb {
             let t = a
                 .outcome
                 .timeliness
@@ -122,6 +137,11 @@ fn parallel_sweep_matches_serial_bit_for_bit() {
             assert!(
                 t.slack.count() > 0,
                 "{}: NVR should measure a nonzero slack distribution",
+                a.job.key()
+            );
+            assert!(
+                t.queue_delay.count() > 0,
+                "{}: issued prefetches record channel queue delay",
                 a.job.key()
             );
         }

@@ -16,11 +16,21 @@ fn fig1b_renders() {
 #[test]
 fn fig6_subset_renders() {
     let data = figures::fig6::run_with_workloads(Scale::Tiny, 2, &[WorkloadId::H2o]);
-    assert_eq!(data.cells.len(), 4); // one workload x four prefetchers
+    assert_eq!(data.cells.len(), 5); // one workload x five prefetchers
     assert_eq!(data.movement.len(), 3);
     let text = data.to_string();
     assert!(text.contains("accuracy"));
-    assert!(text.contains("NVR"));
+    assert!(text.contains("NVR+NSB"));
+    assert!(text.contains("channel_util"));
+}
+
+#[test]
+fn fig7b_subset_renders() {
+    let data = figures::fig7b::run_jobs_with_workloads(Scale::Tiny, 2, 2, &[WorkloadId::Ds]);
+    assert_eq!(data.cells.len(), 9); // 3 channel counts x 3 systems
+    let text = data.to_string();
+    assert!(text.contains("channel scaling"));
+    assert!(text.contains("qd p95"));
 }
 
 #[test]
