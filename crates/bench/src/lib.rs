@@ -5,6 +5,9 @@
 //! bench that times the regeneration. The root README.md maps experiment
 //! ids to these targets.
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 use nvr_common::DataWidth;
 use nvr_mem::MemoryConfig;
 use nvr_sim::{run_system, RunOutcome, SystemKind};

@@ -172,6 +172,7 @@ impl NvrPrefetcher {
     /// Panics if the configuration fails [`NvrConfig::validate`].
     #[must_use]
     pub fn new(cfg: NvrConfig) -> Self {
+        // nvr-lint: allow(panic/hot-loop) reason="init-time config validation in the constructor, outside the tick loop"
         cfg.validate().expect("nvr config must be valid");
         NvrPrefetcher {
             sd: StrideDetector::new(cfg.vector_width),
@@ -454,6 +455,7 @@ impl NvrPrefetcher {
                     let mut probes = Vec::with_capacity(values.len());
                     let mut ready = self.clock;
                     for &v in &values {
+                        // nvr-lint: allow(panic/hot-loop) reason="guarded by the is_two_level() branch above; probe_addr is total for two-level SCDs"
                         let probe = self.scd.probe_addr(v).expect("two-level entry");
                         if let nvr_mem::PrefetchOutcome::Issued { fill_done } =
                             mem.prefetch_line(probe.line(), self.clock, self.cfg.fill_nsb)

@@ -46,6 +46,7 @@
 //! assert!(!nvr.fills_nsb()); // until an NSB is configured
 //! ```
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 pub mod config;

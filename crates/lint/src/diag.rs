@@ -1,0 +1,249 @@
+//! Diagnostics: the rule catalogue, violation records, and the text/JSON
+//! renderings the CLI emits.
+
+use std::fmt;
+
+/// Every rule `nvr-lint` enforces.
+///
+/// The first nine are code rules; the last two audit the suppression
+/// mechanism itself so `// nvr-lint: allow(...)` comments cannot rot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rule {
+    /// No `HashMap`/`HashSet`/`RandomState`/`DefaultHasher` in the
+    /// result-producing crates — unordered iteration breaks `--jobs`
+    /// bit-equality.
+    OrderedContainers,
+    /// No `Instant::now`/`SystemTime` reads: wall-clock must never feed a
+    /// simulation result. The sweep timing CSVs carry audited allows.
+    WallClock,
+    /// No ambient randomness (`thread_rng`, `OsRng`, `from_entropy`,
+    /// `getrandom`): RNG state must flow from seeded `SweepJob` state.
+    ThreadState,
+    /// No narrowing `as` casts in the cycle/address-typed tick paths of
+    /// `nvr_core`/`nvr_mem` — silent truncation corrupts speedups.
+    LossyCast,
+    /// `unwrap()`/`expect()` in controller/cache/DRAM tick code must carry
+    /// a justification (an audited allow).
+    PanicHotLoop,
+    /// Every crate root must carry `#![forbid(unsafe_code)]`.
+    UnsafeForbid,
+    /// Every crate root must carry `#![deny(missing_docs)]`.
+    DocsDenyMissing,
+    /// Every config-struct knob (`NvrConfig`, `DramConfig`, `SweepSpec`,
+    /// ...) needs a doc comment stating its unit.
+    KnobDoc,
+    /// CSV header literals must agree column-for-column with the row
+    /// format string that follows them.
+    CsvSchemaSync,
+    /// A `nvr-lint: allow(...)` comment without a parseable rule name or
+    /// a non-empty `reason="..."`.
+    MalformedAllow,
+    /// A well-formed allow that suppressed nothing.
+    UnusedAllow,
+}
+
+impl Rule {
+    /// Every rule, in catalogue order.
+    pub const ALL: [Rule; 11] = [
+        Rule::OrderedContainers,
+        Rule::WallClock,
+        Rule::ThreadState,
+        Rule::LossyCast,
+        Rule::PanicHotLoop,
+        Rule::UnsafeForbid,
+        Rule::DocsDenyMissing,
+        Rule::KnobDoc,
+        Rule::CsvSchemaSync,
+        Rule::MalformedAllow,
+        Rule::UnusedAllow,
+    ];
+
+    /// The stable `category/name` id used in diagnostics and allows.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::OrderedContainers => "determinism/ordered-containers",
+            Rule::WallClock => "determinism/wall-clock",
+            Rule::ThreadState => "determinism/thread-state",
+            Rule::LossyCast => "overflow/lossy-cast",
+            Rule::PanicHotLoop => "panic/hot-loop",
+            Rule::UnsafeForbid => "unsafe/forbid",
+            Rule::DocsDenyMissing => "docs/deny-missing",
+            Rule::KnobDoc => "config/knob-doc",
+            Rule::CsvSchemaSync => "csv/schema-sync",
+            Rule::MalformedAllow => "lint/malformed-allow",
+            Rule::UnusedAllow => "lint/unused-allow",
+        }
+    }
+
+    /// One-line description for `--list-rules`.
+    #[must_use]
+    pub fn describe(self) -> &'static str {
+        match self {
+            Rule::OrderedContainers => {
+                "no HashMap/HashSet/RandomState in result-producing crates \
+                 (iteration order breaks --jobs bit-equality)"
+            }
+            Rule::WallClock => "no Instant::now/SystemTime outside audited sweep-timing sites",
+            Rule::ThreadState => "no ambient randomness; RNG must flow from seeded SweepJob state",
+            Rule::LossyCast => {
+                "no narrowing `as` casts on cycle/address values in core/mem tick paths"
+            }
+            Rule::PanicHotLoop => {
+                "unwrap()/expect() in controller/cache/DRAM code needs a justification"
+            }
+            Rule::UnsafeForbid => "crate roots must carry #![forbid(unsafe_code)]",
+            Rule::DocsDenyMissing => "crate roots must carry #![deny(missing_docs)]",
+            Rule::KnobDoc => "every config-struct field needs a doc comment stating its unit",
+            Rule::CsvSchemaSync => {
+                "CSV header literals must match the column count of their row format"
+            }
+            Rule::MalformedAllow => {
+                "nvr-lint allows need a known rule and a non-empty reason=\"...\""
+            }
+            Rule::UnusedAllow => "allows that suppress nothing must be removed",
+        }
+    }
+
+    /// Looks a rule up by its `category/name` id.
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<Rule> {
+        Rule::ALL.into_iter().find(|r| r.name() == name)
+    }
+
+    /// Whether an allow for this rule covers the whole file (crate-root
+    /// attribute rules) rather than a single line.
+    #[must_use]
+    pub fn file_scoped(self) -> bool {
+        matches!(self, Rule::UnsafeForbid | Rule::DocsDenyMissing)
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One violation.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// The rule violated.
+    pub rule: Rule,
+    /// Workspace-relative path, forward slashes.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// The outcome of linting a file set.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// All violations, in (file, line) order.
+    pub diagnostics: Vec<Diagnostic>,
+    /// How many files were checked.
+    pub files_checked: usize,
+}
+
+impl Report {
+    /// True when nothing was flagged.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Machine-readable rendering: one stable JSON document.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"tool\": \"nvr-lint\",\n");
+        out.push_str(&format!(
+            "  \"files_checked\": {},\n  \"violations\": [",
+            self.files_checked
+        ));
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"message\": \"{}\"}}",
+                json_escape(d.rule.name()),
+                json_escape(&d.file),
+                d.line,
+                json_escape(&d.message)
+            ));
+        }
+        if !self.diagnostics.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+}
+
+/// Escapes a string for embedding in a JSON document.
+#[must_use]
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rule_names_round_trip() {
+        for rule in Rule::ALL {
+            assert_eq!(Rule::from_name(rule.name()), Some(rule));
+            assert!(!rule.describe().is_empty());
+        }
+        assert_eq!(Rule::from_name("nonsense/rule"), None);
+    }
+
+    #[test]
+    fn json_escapes_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn report_json_shape() {
+        let mut r = Report {
+            files_checked: 2,
+            ..Report::default()
+        };
+        assert!(r.is_clean());
+        assert!(r.to_json().contains("\"violations\": []"));
+        r.diagnostics.push(Diagnostic {
+            rule: Rule::OrderedContainers,
+            file: "crates/core/src/lib.rs".into(),
+            line: 3,
+            message: "found `HashMap`".into(),
+        });
+        let json = r.to_json();
+        assert!(json.contains("\"rule\": \"determinism/ordered-containers\""));
+        assert!(json.contains("\"line\": 3"));
+    }
+}

@@ -1,0 +1,109 @@
+//! Workspace discovery and the whole-tree lint pass.
+//!
+//! Walks `crates/`, `tests/` and `examples/` under the workspace root
+//! (skipping `target/`, `vendor/` — third-party stand-ins — and any
+//! `fixtures/` directory, which holds deliberately-bad lint inputs),
+//! lints every `.rs` file and aggregates an ordered [`Report`].
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::diag::Report;
+use crate::rules::lint_source;
+
+/// Directory names never descended into.
+const SKIP_DIRS: [&str; 4] = ["target", "vendor", "fixtures", ".git"];
+
+/// Top-level directories scanned under the workspace root.
+const SCAN_ROOTS: [&str; 3] = ["crates", "tests", "examples"];
+
+/// Lints the workspace rooted at `root`.
+///
+/// # Errors
+///
+/// Returns a message when `root` is not a workspace root (no `Cargo.toml`)
+/// or a file cannot be read.
+pub fn lint_workspace(root: &Path) -> Result<Report, String> {
+    if !root.join("Cargo.toml").is_file() {
+        return Err(format!(
+            "{} does not look like a workspace root (no Cargo.toml)",
+            root.display()
+        ));
+    }
+    let mut files = Vec::new();
+    for scan in SCAN_ROOTS {
+        collect_rs_files(&root.join(scan), &mut files);
+    }
+    files.sort();
+    let mut report = Report::default();
+    for path in &files {
+        let src =
+            fs::read_to_string(path).map_err(|e| format!("reading {}: {e}", path.display()))?;
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        report.diagnostics.extend(lint_source(&rel, &src));
+        report.files_checked += 1;
+    }
+    Ok(report)
+}
+
+/// Walks upward from `start` to the first directory holding a
+/// `Cargo.toml` with a `[workspace]` table.
+#[must_use]
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(text) = fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return Some(d);
+                }
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    // read_dir order is platform-dependent; the caller sorts the full list.
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            let name = entry.file_name();
+            if SKIP_DIRS.iter().any(|s| name.to_string_lossy() == *s) {
+                continue;
+            }
+            collect_rs_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn missing_root_is_an_error() {
+        let err = lint_workspace(Path::new("/nonexistent-nvr-lint-root"));
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn finds_own_workspace_root() {
+        let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let root = find_workspace_root(here).expect("workspace root above crates/lint");
+        assert!(root.join("crates/lint/Cargo.toml").is_file());
+    }
+}

@@ -1,0 +1,34 @@
+//! `nvr-lint` — workspace-wide determinism and simulator-invariant
+//! static analysis.
+//!
+//! The repo's load-bearing correctness property is *bit-exact determinism*
+//! of simulation results across `--jobs`, seeds and channel counts: every
+//! headline number rests on it, and runtime bit-equality tests can only
+//! sample a handful of grid cells. This crate checks the invariants
+//! statically, on every line of the workspace, on every PR:
+//!
+//! * a hand-rolled, comment/string/attribute-aware lexer ([`lexer`]) —
+//!   std-only, no `syn`, consistent with the offline `vendor/` policy;
+//! * ~10 repo-specific rules ([`diag::Rule`]) with `file:line`
+//!   diagnostics: ordered-container and wall-clock/ambient-RNG
+//!   determinism hazards, narrowing casts and unjustified panics in tick
+//!   paths, crate-root `#![forbid(unsafe_code)]` / `#![deny(missing_docs)]`
+//!   attributes, config-knob doc coverage, and CSV header/row schema sync;
+//! * audited inline suppression: `// nvr-lint: allow(rule) reason="..."`
+//!   with a mandatory reason, malformed-allow diagnostics, and
+//!   unused-allow detection so suppressions cannot rot.
+//!
+//! Run it with `cargo run -p nvr_lint` (exit 0 = clean, 1 = violations),
+//! or `--format json` for the machine-readable report CI archives.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod diag;
+pub mod engine;
+pub mod lexer;
+pub mod rules;
+
+pub use diag::{Diagnostic, Report, Rule};
+pub use engine::{find_workspace_root, lint_workspace};
+pub use rules::lint_source;

@@ -1,0 +1,662 @@
+//! The rule checks and the audited-suppression machinery.
+//!
+//! [`lint_source`] is the pure per-file entry point: lex, run every rule
+//! whose scope covers the file, then resolve `// nvr-lint: allow(rule)
+//! reason="..."` comments — dropping suppressed findings, flagging
+//! malformed allows, and flagging allows that suppressed nothing.
+
+use crate::diag::{Diagnostic, Rule};
+use crate::lexer::{lex, Lexed, Tok, TokKind};
+
+/// Crates whose numeric outputs land in figures/CSVs — the set where
+/// unordered containers would silently break `--jobs` bit-equality.
+const RESULT_CRATES: [&str; 4] = [
+    "crates/core/",
+    "crates/mem/",
+    "crates/sim/",
+    "crates/workloads/",
+];
+
+/// Identifiers whose presence in a result-producing crate is a
+/// determinism hazard: all iterate (or hash) in platform/seed-dependent
+/// order.
+const UNORDERED_IDENTS: [&str; 4] = ["HashMap", "HashSet", "RandomState", "DefaultHasher"];
+
+/// Ambient-randomness identifiers: all draw entropy from outside the
+/// seeded `SweepJob` state.
+const AMBIENT_RNG_IDENTS: [&str; 5] = [
+    "thread_rng",
+    "ThreadRng",
+    "OsRng",
+    "from_entropy",
+    "getrandom",
+];
+
+/// Narrowing integer targets for `as` casts in tick paths.
+const NARROW_TARGETS: [&str; 7] = ["u8", "u16", "u32", "i8", "i16", "i32", "f32"];
+
+/// Tick-path files where a stray panic would take down a whole sweep and
+/// where every `unwrap`/`expect` therefore needs a written justification.
+const HOT_LOOP_FILES: [&str; 4] = [
+    "crates/core/src/controller.rs",
+    "crates/mem/src/cache.rs",
+    "crates/mem/src/dram.rs",
+    "crates/mem/src/hierarchy.rs",
+];
+
+/// Files holding the config structs whose fields the knob-doc rule covers.
+const KNOB_FILES: [&str; 3] = [
+    "crates/core/src/config.rs",
+    "crates/mem/src/config.rs",
+    "crates/sim/src/sweep.rs",
+];
+
+/// The config structs themselves.
+const KNOB_STRUCTS: [&str; 6] = [
+    "NvrConfig",
+    "CacheConfig",
+    "DramConfig",
+    "MemoryConfig",
+    "SweepSpec",
+    "SweepJob",
+];
+
+/// A parsed `nvr-lint: allow(rule) reason="..."` comment.
+#[derive(Debug)]
+struct Allow {
+    rule: Rule,
+    /// Line of the comment itself.
+    line: u32,
+    /// Line(s) the allow covers: its own line, and the following line
+    /// when the comment stands alone above the code it annotates.
+    standalone: bool,
+    used: bool,
+}
+
+impl Allow {
+    fn covers(&self, rule: Rule, line: u32) -> bool {
+        if self.rule != rule {
+            return false;
+        }
+        if rule.file_scoped() {
+            return true;
+        }
+        line == self.line || (self.standalone && line == self.line + 1)
+    }
+}
+
+/// Lints one file's source. `rel` is the workspace-relative path with
+/// forward slashes — rule scoping keys off it.
+#[must_use]
+pub fn lint_source(rel: &str, src: &str) -> Vec<Diagnostic> {
+    let lexed = lex(src);
+    let test_lines = cfg_test_lines(&lexed);
+    let mut found: Vec<Diagnostic> = Vec::new();
+
+    check_ordered_containers(rel, &lexed, &mut found);
+    check_wall_clock(rel, &lexed, &mut found);
+    check_thread_state(rel, &lexed, &mut found);
+    check_lossy_cast(rel, &lexed, &test_lines, &mut found);
+    check_panic_hot_loop(rel, &lexed, &test_lines, &mut found);
+    check_crate_root_attrs(rel, &lexed, &mut found);
+    check_knob_doc(rel, src, &mut found);
+    check_csv_schema(rel, &lexed, &mut found);
+
+    let (mut allows, mut diags) = parse_allows(rel, &lexed);
+
+    // Resolve suppressions: a finding covered by an allow is dropped and
+    // marks the allow used; everything else survives.
+    for d in found {
+        match allows.iter_mut().find(|a| a.covers(d.rule, d.line)) {
+            Some(allow) => allow.used = true,
+            None => diags.push(d),
+        }
+    }
+    for allow in &allows {
+        if !allow.used {
+            diags.push(Diagnostic {
+                rule: Rule::UnusedAllow,
+                file: rel.into(),
+                line: allow.line,
+                message: format!(
+                    "allow({}) suppresses nothing — remove it so the audit trail stays honest",
+                    allow.rule
+                ),
+            });
+        }
+    }
+    diags.sort_by(|a, b| a.line.cmp(&b.line).then(a.rule.name().cmp(b.rule.name())));
+    diags
+}
+
+/// Parses every suppression comment; returns well-formed allows plus
+/// diagnostics for malformed ones.
+fn parse_allows(rel: &str, lexed: &Lexed) -> (Vec<Allow>, Vec<Diagnostic>) {
+    let mut allows = Vec::new();
+    let mut diags = Vec::new();
+    for comment in &lexed.comments {
+        // Suppressions live in plain comments only: doc comments merely
+        // *describe* the syntax (rustdoc, this file) and never suppress.
+        let is_doc = ["///", "//!", "/**", "/*!"]
+            .iter()
+            .any(|p| comment.text.starts_with(p));
+        if is_doc {
+            continue;
+        }
+        let Some(idx) = comment.text.find("nvr-lint:") else {
+            continue;
+        };
+        let body = &comment.text[idx + "nvr-lint:".len()..];
+        let mut malformed = |msg: String| {
+            diags.push(Diagnostic {
+                rule: Rule::MalformedAllow,
+                file: rel.into(),
+                line: comment.line,
+                message: msg,
+            });
+        };
+        let Some(open) = body.find("allow(") else {
+            malformed("expected `allow(rule)` after `nvr-lint:`".into());
+            continue;
+        };
+        let after = &body[open + "allow(".len()..];
+        let Some(close) = after.find(')') else {
+            malformed("unclosed `allow(` — expected `allow(rule)`".into());
+            continue;
+        };
+        let rule_name = after[..close].trim();
+        let Some(rule) = Rule::from_name(rule_name) else {
+            malformed(format!(
+                "unknown rule `{rule_name}` (run `nvr-lint --list-rules` for the catalogue)"
+            ));
+            continue;
+        };
+        let rest = &after[close + 1..];
+        let reason = rest
+            .find("reason=\"")
+            .map(|r| &rest[r + "reason=\"".len()..])
+            .and_then(|tail| tail.find('"').map(|end| tail[..end].trim()));
+        match reason {
+            Some(r) if !r.is_empty() => allows.push(Allow {
+                rule,
+                line: comment.line,
+                standalone: !lexed.has_code_on_line(comment.line),
+                used: false,
+            }),
+            _ => malformed(format!(
+                "allow({rule}) needs a non-empty reason=\"...\" — suppressions are audited"
+            )),
+        }
+    }
+    (allows, diags)
+}
+
+/// Lines covered by `#[cfg(test)]` items: rules that police production
+/// tick paths skip these (tests unwrap freely, by design).
+fn cfg_test_lines(lexed: &Lexed) -> Vec<(u32, u32)> {
+    let toks = &lexed.toks;
+    let mut ranges = Vec::new();
+    let mut i = 0;
+    while i + 6 < toks.len() {
+        let is_cfg_test = tok_is(&toks[i], "#")
+            && tok_is(&toks[i + 1], "[")
+            && ident_is(&toks[i + 2], "cfg")
+            && tok_is(&toks[i + 3], "(")
+            && ident_is(&toks[i + 4], "test")
+            && tok_is(&toks[i + 5], ")")
+            && tok_is(&toks[i + 6], "]");
+        if !is_cfg_test {
+            i += 1;
+            continue;
+        }
+        // Find the body's opening brace, then its matching close.
+        let mut j = i + 7;
+        while j < toks.len() && !tok_is(&toks[j], "{") {
+            // A `;` first means a braceless item (e.g. `mod tests;`).
+            if tok_is(&toks[j], ";") {
+                break;
+            }
+            j += 1;
+        }
+        if j >= toks.len() || !tok_is(&toks[j], "{") {
+            i = j;
+            continue;
+        }
+        let start = toks[i].line;
+        let mut depth = 0i64;
+        while j < toks.len() {
+            match toks[j].kind {
+                TokKind::Punct('{') => depth += 1,
+                TokKind::Punct('}') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        let end = toks.get(j).map_or(u32::MAX, |t| t.line);
+        ranges.push((start, end));
+        i = j + 1;
+    }
+    ranges
+}
+
+fn in_ranges(ranges: &[(u32, u32)], line: u32) -> bool {
+    ranges.iter().any(|&(a, b)| line >= a && line <= b)
+}
+
+fn tok_is(tok: &Tok, text: &str) -> bool {
+    match tok.kind {
+        TokKind::Punct(c) => text.len() == 1 && text.starts_with(c),
+        _ => false,
+    }
+}
+
+fn ident_is(tok: &Tok, text: &str) -> bool {
+    tok.kind == TokKind::Ident && tok.text == text
+}
+
+fn push(diags: &mut Vec<Diagnostic>, rule: Rule, rel: &str, line: u32, message: String) {
+    diags.push(Diagnostic {
+        rule,
+        file: rel.into(),
+        line,
+        message,
+    });
+}
+
+fn check_ordered_containers(rel: &str, lexed: &Lexed, diags: &mut Vec<Diagnostic>) {
+    if !RESULT_CRATES.iter().any(|c| rel.starts_with(c)) {
+        return;
+    }
+    for tok in &lexed.toks {
+        if tok.kind == TokKind::Ident && UNORDERED_IDENTS.contains(&tok.text.as_str()) {
+            push(
+                diags,
+                Rule::OrderedContainers,
+                rel,
+                tok.line,
+                format!(
+                    "`{}` in a result-producing crate: unordered iteration breaks \
+                     --jobs bit-equality; use BTreeMap/BTreeSet or a Vec keyed by \
+                     deterministic order",
+                    tok.text
+                ),
+            );
+        }
+    }
+}
+
+fn check_wall_clock(rel: &str, lexed: &Lexed, diags: &mut Vec<Diagnostic>) {
+    let toks = &lexed.toks;
+    for i in 0..toks.len() {
+        // `SystemTime::<anything>` is a clock (or epoch) access; the bare
+        // ident in a `use` import is not flagged, mirroring `Instant`.
+        if i + 2 < toks.len()
+            && ident_is(&toks[i], "SystemTime")
+            && tok_is(&toks[i + 1], ":")
+            && tok_is(&toks[i + 2], ":")
+        {
+            push(
+                diags,
+                Rule::WallClock,
+                rel,
+                toks[i].line,
+                "`SystemTime` read: wall-clock must never feed a simulation result".into(),
+            );
+        }
+        if i + 3 < toks.len()
+            && ident_is(&toks[i], "Instant")
+            && tok_is(&toks[i + 1], ":")
+            && tok_is(&toks[i + 2], ":")
+            && ident_is(&toks[i + 3], "now")
+        {
+            push(
+                diags,
+                Rule::WallClock,
+                rel,
+                toks[i].line,
+                "`Instant::now()`: wall-clock reads are only legitimate at the audited \
+                 sweep-timing sites (keep them out of anything that feeds a result)"
+                    .into(),
+            );
+        }
+    }
+}
+
+fn check_thread_state(rel: &str, lexed: &Lexed, diags: &mut Vec<Diagnostic>) {
+    for tok in &lexed.toks {
+        if tok.kind == TokKind::Ident && AMBIENT_RNG_IDENTS.contains(&tok.text.as_str()) {
+            push(
+                diags,
+                Rule::ThreadState,
+                rel,
+                tok.line,
+                format!(
+                    "`{}` draws ambient entropy; all randomness must flow from the \
+                     seeded Pcg32 in SweepJob/WorkloadSpec state",
+                    tok.text
+                ),
+            );
+        }
+    }
+}
+
+fn check_lossy_cast(
+    rel: &str,
+    lexed: &Lexed,
+    test_lines: &[(u32, u32)],
+    diags: &mut Vec<Diagnostic>,
+) {
+    if !(rel.starts_with("crates/core/") || rel.starts_with("crates/mem/")) {
+        return;
+    }
+    let toks = &lexed.toks;
+    for i in 0..toks.len().saturating_sub(1) {
+        if ident_is(&toks[i], "as")
+            && toks[i + 1].kind == TokKind::Ident
+            && NARROW_TARGETS.contains(&toks[i + 1].text.as_str())
+            && !in_ranges(test_lines, toks[i].line)
+        {
+            push(
+                diags,
+                Rule::LossyCast,
+                rel,
+                toks[i].line,
+                format!(
+                    "narrowing `as {}` in a cycle/address-typed tick path can silently \
+                     truncate u64 values; use try_from or justify with an allow",
+                    toks[i + 1].text
+                ),
+            );
+        }
+    }
+}
+
+fn check_panic_hot_loop(
+    rel: &str,
+    lexed: &Lexed,
+    test_lines: &[(u32, u32)],
+    diags: &mut Vec<Diagnostic>,
+) {
+    if !HOT_LOOP_FILES.contains(&rel) {
+        return;
+    }
+    let toks = &lexed.toks;
+    for i in 0..toks.len().saturating_sub(2) {
+        if tok_is(&toks[i], ".")
+            && (ident_is(&toks[i + 1], "unwrap") || ident_is(&toks[i + 1], "expect"))
+            && tok_is(&toks[i + 2], "(")
+            && !in_ranges(test_lines, toks[i].line)
+        {
+            push(
+                diags,
+                Rule::PanicHotLoop,
+                rel,
+                toks[i].line,
+                format!(
+                    "`.{}()` in controller/cache/DRAM code: a panic here kills a whole \
+                     sweep; justify the invariant with an allow or return an error",
+                    toks[i + 1].text
+                ),
+            );
+        }
+    }
+}
+
+/// Crate-root attribute rules: `#![forbid(unsafe_code)]` and
+/// `#![deny(missing_docs)]` on every `crates/*/src/lib.rs`.
+fn check_crate_root_attrs(rel: &str, lexed: &Lexed, diags: &mut Vec<Diagnostic>) {
+    let is_lib_root = rel.starts_with("crates/") && rel.ends_with("/src/lib.rs");
+    if !is_lib_root {
+        return;
+    }
+    if !has_inner_attr(lexed, "forbid", "unsafe_code") {
+        push(
+            diags,
+            Rule::UnsafeForbid,
+            rel,
+            1,
+            "crate root is missing `#![forbid(unsafe_code)]`".into(),
+        );
+    }
+    if !has_inner_attr(lexed, "deny", "missing_docs") {
+        push(
+            diags,
+            Rule::DocsDenyMissing,
+            rel,
+            1,
+            "crate root is missing `#![deny(missing_docs)]`".into(),
+        );
+    }
+}
+
+fn has_inner_attr(lexed: &Lexed, level: &str, lint: &str) -> bool {
+    let toks = &lexed.toks;
+    (0..toks.len().saturating_sub(7)).any(|i| {
+        tok_is(&toks[i], "#")
+            && tok_is(&toks[i + 1], "!")
+            && tok_is(&toks[i + 2], "[")
+            && ident_is(&toks[i + 3], level)
+            && tok_is(&toks[i + 4], "(")
+            && ident_is(&toks[i + 5], lint)
+            && tok_is(&toks[i + 6], ")")
+            && tok_is(&toks[i + 7], "]")
+    })
+}
+
+/// Line-based check (the workspace is rustfmt-enforced): every field of a
+/// config struct must be immediately preceded by a doc comment, possibly
+/// with attributes in between.
+fn check_knob_doc(rel: &str, src: &str, diags: &mut Vec<Diagnostic>) {
+    if !KNOB_FILES.contains(&rel) {
+        return;
+    }
+    let lines: Vec<&str> = src.lines().collect();
+    let mut i = 0;
+    while i < lines.len() {
+        let trimmed = lines[i].trim_start();
+        let Some(struct_name) = KNOB_STRUCTS
+            .iter()
+            .find(|name| trimmed.starts_with(&format!("pub struct {name} {{")))
+        else {
+            i += 1;
+            continue;
+        };
+        // Walk the struct body, tracking brace depth line by line.
+        let mut depth: i64 = 1;
+        let mut j = i + 1;
+        while j < lines.len() && depth > 0 {
+            let body_line = lines[j].trim();
+            if depth == 1 && body_line.starts_with("pub ") && body_line.contains(':') {
+                let documented = (i + 1..j)
+                    .rev()
+                    .map(|k| lines[k].trim())
+                    .take_while(|prev| {
+                        prev.starts_with("///") || prev.starts_with("#[") || prev.starts_with("//")
+                    });
+                if !documented.into_iter().any(|prev| prev.starts_with("///")) {
+                    let field = body_line
+                        .trim_start_matches("pub ")
+                        .split(':')
+                        .next()
+                        .unwrap_or("?")
+                        .trim();
+                    push(
+                        diags,
+                        Rule::KnobDoc,
+                        rel,
+                        (j + 1) as u32,
+                        format!(
+                            "config knob `{struct_name}::{field}` has no doc comment; \
+                             every knob must state its unit and default rationale"
+                        ),
+                    );
+                }
+            }
+            depth += i64::try_from(body_line.matches('{').count()).unwrap_or(0);
+            depth -= i64::try_from(body_line.matches('}').count()).unwrap_or(0);
+            j += 1;
+        }
+        i = j;
+    }
+}
+
+/// Pairs CSV header literals with the first row-format literal that
+/// follows and compares top-level column counts.
+fn check_csv_schema(rel: &str, lexed: &Lexed, diags: &mut Vec<Diagnostic>) {
+    let strs: Vec<&Tok> = lexed
+        .toks
+        .iter()
+        .filter(|t| t.kind == TokKind::Str)
+        .collect();
+    for (i, header) in strs.iter().enumerate() {
+        let Some(header_cols) = csv_header_columns(&header.text) else {
+            continue;
+        };
+        // The matching row emitter is the next format-ish literal ending in
+        // a newline within a generous window of the header.
+        let row = strs[i + 1..]
+            .iter()
+            .find(|t| t.text.ends_with('\n') && t.text.contains('{') && t.line <= header.line + 80);
+        let Some(row) = row else { continue };
+        let row_cols = top_level_commas(&row.text) + 1;
+        if row_cols != header_cols {
+            push(
+                diags,
+                Rule::CsvSchemaSync,
+                rel,
+                row.line,
+                format!(
+                    "CSV row format has {row_cols} columns but the header on line {} \
+                     declares {header_cols}; keep the header string and the row \
+                     field list in sync",
+                    header.line
+                ),
+            );
+        }
+    }
+}
+
+/// `Some(columns)` when the literal looks like a CSV header: ends with a
+/// newline, has ≥ 2 commas, no format placeholders, and every segment is
+/// an identifier-shaped column name.
+fn csv_header_columns(text: &str) -> Option<usize> {
+    if !text.ends_with('\n') || text.contains('{') || text.contains('}') {
+        return None;
+    }
+    let body = text.trim_end_matches('\n');
+    let segments: Vec<&str> = body.split(',').collect();
+    if segments.len() < 3 {
+        return None;
+    }
+    let ident_like = |s: &str| {
+        let s = s.trim();
+        !s.is_empty()
+            && s.chars()
+                .next()
+                .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+            && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+    };
+    segments
+        .iter()
+        .all(|s| ident_like(s))
+        .then_some(segments.len())
+}
+
+/// Commas outside `{...}` placeholders (format-spec commas don't count),
+/// honouring `{{`/`}}` escapes.
+fn top_level_commas(text: &str) -> usize {
+    let mut depth = 0usize;
+    let mut commas = 0usize;
+    let chars: Vec<char> = text.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        match chars[i] {
+            '{' if chars.get(i + 1) == Some(&'{') => i += 1,
+            '}' if chars.get(i + 1) == Some(&'}') => i += 1,
+            '{' => depth += 1,
+            '}' => depth = depth.saturating_sub(1),
+            ',' if depth == 0 => commas += 1,
+            _ => {}
+        }
+        i += 1;
+    }
+    commas
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules_fired(rel: &str, src: &str) -> Vec<Rule> {
+        lint_source(rel, src).into_iter().map(|d| d.rule).collect()
+    }
+
+    #[test]
+    fn scoping_gates_container_rule() {
+        let src = "use std::collections::HashMap;\n";
+        assert!(rules_fired("crates/core/src/x.rs", src).contains(&Rule::OrderedContainers));
+        assert!(!rules_fired("crates/llm/src/x.rs", src).contains(&Rule::OrderedContainers));
+    }
+
+    #[test]
+    fn suppression_consumes_finding() {
+        let src = "let m: HashMap<u64, u64> = HashMap::new(); \
+                   // nvr-lint: allow(determinism/ordered-containers) reason=\"fixture\"\n";
+        assert!(rules_fired("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn standalone_allow_covers_next_line() {
+        let src = "// nvr-lint: allow(determinism/ordered-containers) reason=\"fixture\"\n\
+                   let m: HashMap<u64, u64> = HashMap::new();\n";
+        assert!(rules_fired("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn allow_without_reason_is_malformed() {
+        let src = "// nvr-lint: allow(determinism/ordered-containers)\nlet x = 1;\n";
+        assert_eq!(
+            rules_fired("crates/llm/src/x.rs", src),
+            [Rule::MalformedAllow]
+        );
+    }
+
+    #[test]
+    fn unused_allow_is_flagged() {
+        let src = "// nvr-lint: allow(determinism/wall-clock) reason=\"stale\"\nlet x = 1;\n";
+        assert_eq!(rules_fired("crates/llm/src/x.rs", src), [Rule::UnusedAllow]);
+    }
+
+    #[test]
+    fn cfg_test_mod_is_exempt_from_panic_rule() {
+        let src = "fn f(x: Option<u64>) -> u64 { x.expect(\"set\") }\n\
+                   #[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { \
+                   Some(1).unwrap(); }\n}\n";
+        let fired = rules_fired("crates/mem/src/dram.rs", src);
+        assert_eq!(fired, [Rule::PanicHotLoop]); // only the non-test expect
+    }
+
+    #[test]
+    fn csv_header_mismatch_detected() {
+        let good = "fn csv() -> String {\n\
+            let mut out = String::from(\"a,b,c\\n\");\n\
+            out.push_str(&format!(\"{},{},{}\\n\", 1, 2, 3));\nout\n}\n";
+        assert!(rules_fired("crates/sim/src/x.rs", good).is_empty());
+        let bad = good.replace("\"a,b,c\\n\"", "\"a,b,c,d\\n\"");
+        assert_eq!(
+            rules_fired("crates/sim/src/x.rs", &bad),
+            [Rule::CsvSchemaSync]
+        );
+    }
+
+    #[test]
+    fn format_spec_commas_do_not_count() {
+        assert_eq!(top_level_commas("{},{:>8},{:.3}\n"), 2);
+        assert_eq!(top_level_commas("{{literal}},{}\n"), 1);
+    }
+}

@@ -1,0 +1,3 @@
+//! Bad: a crate root with neither required attribute.
+
+pub fn noop() {}

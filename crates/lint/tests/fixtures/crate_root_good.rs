@@ -1,0 +1,7 @@
+//! Good: both crate-root attributes present.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+/// Documented.
+pub fn noop() {}

@@ -1,0 +1,6 @@
+//! Bad: header declares 4 columns, the row emits 3.
+pub fn csv() -> String {
+    let mut out = String::from("workload,system,cycles,speedup\n");
+    out.push_str(&format!("{},{},{}\n", "DS", "NVR", 123));
+    out
+}

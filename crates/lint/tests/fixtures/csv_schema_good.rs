@@ -1,0 +1,6 @@
+//! Good: header and row agree, format specs don't confuse the count.
+pub fn csv() -> String {
+    let mut out = String::from("workload,system,cycles,speedup\n");
+    out.push_str(&format!("{},{},{},{:.3}\n", "DS", "NVR", 123, 2.41));
+    out
+}

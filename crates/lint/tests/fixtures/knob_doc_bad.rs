@@ -1,0 +1,8 @@
+//! Bad: config knobs without doc comments.
+
+/// Tuning knobs.
+pub struct NvrConfig {
+    /// Documented knob (cycles).
+    pub documented: u64,
+    pub undocumented: u64,
+}

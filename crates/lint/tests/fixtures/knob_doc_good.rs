@@ -1,0 +1,10 @@
+//! Good: every knob documents its unit.
+
+/// Tuning knobs.
+pub struct NvrConfig {
+    /// Window depth, in tiles.
+    pub depth: usize,
+    /// Budget, in cache lines.
+    #[allow(dead_code)]
+    pub budget: usize,
+}

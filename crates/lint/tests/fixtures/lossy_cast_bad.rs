@@ -1,0 +1,4 @@
+//! Bad: narrowing casts on cycle-typed u64 values.
+pub fn compress(cycle: u64, addr: u64) -> (u32, u16) {
+    (cycle as u32, addr as u16)
+}

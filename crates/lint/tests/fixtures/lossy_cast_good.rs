@@ -1,0 +1,4 @@
+//! Good: widening casts and checked conversions only.
+pub fn widen(cycle: u32, count: usize) -> u64 {
+    u64::from(cycle) + count as u64
+}

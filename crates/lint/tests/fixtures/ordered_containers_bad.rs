@@ -1,0 +1,8 @@
+//! Bad: unordered containers in a result-producing crate.
+use std::collections::{HashMap, HashSet};
+
+pub fn tally(xs: &[u64]) -> usize {
+    let set: HashSet<u64> = xs.iter().copied().collect();
+    let map: HashMap<u64, u64> = HashMap::new();
+    set.len() + map.len()
+}

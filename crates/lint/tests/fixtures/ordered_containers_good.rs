@@ -1,0 +1,8 @@
+//! Good: ordered containers keep --jobs bit-equality.
+use std::collections::{BTreeMap, BTreeSet};
+
+pub fn tally(xs: &[u64]) -> usize {
+    let set: BTreeSet<u64> = xs.iter().copied().collect();
+    let map: BTreeMap<u64, u64> = BTreeMap::new();
+    set.len() + map.len()
+}

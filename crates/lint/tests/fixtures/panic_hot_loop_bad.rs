@@ -1,0 +1,4 @@
+//! Bad: unjustified panics in tick code.
+pub fn tick(slot: Option<u64>) -> u64 {
+    slot.unwrap() + slot.expect("slot")
+}

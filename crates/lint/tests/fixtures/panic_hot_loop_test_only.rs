@@ -1,0 +1,13 @@
+//! Good: unwraps confined to the test module are exempt.
+pub fn tick(slot: Option<u64>) -> u64 {
+    slot.unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwraps_freely() {
+        assert_eq!(Some(1u64).unwrap(), 1);
+        assert_eq!(Some(2u64).expect("set"), 2);
+    }
+}

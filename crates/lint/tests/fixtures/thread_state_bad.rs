@@ -1,0 +1,5 @@
+//! Bad: ambient randomness instead of seeded SweepJob state.
+pub fn roll() -> u64 {
+    let mut rng = thread_rng();
+    rng.next_u64()
+}

@@ -1,0 +1,8 @@
+//! Bad: wall-clock reads feeding simulation state.
+use std::time::{Instant, SystemTime};
+
+pub fn seed_from_clock() -> u64 {
+    let _t = Instant::now();
+    let _s = SystemTime::now();
+    0
+}

@@ -1,0 +1,32 @@
+//! The self-test: the real workspace must lint clean, with every
+//! suppression used and justified. This is the same invariant the CI
+//! `nvr-lint` job gates on — failing here means a determinism or
+//! invariant hazard landed in the tree.
+
+use std::path::Path;
+
+use nvr_lint::{find_workspace_root, lint_workspace};
+
+#[test]
+fn real_workspace_lints_clean() {
+    let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let root = find_workspace_root(here).expect("workspace root above crates/lint");
+    let report = lint_workspace(&root).expect("workspace readable");
+    assert!(
+        report.is_clean(),
+        "workspace has unsuppressed lint violations:\n{}",
+        report
+            .diagnostics
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    // Sanity: the walk actually visited the tree (12 crates + root tests
+    // and examples), not an empty directory.
+    assert!(
+        report.files_checked > 100,
+        "only {} files checked — walker lost the tree?",
+        report.files_checked
+    );
+}

@@ -131,6 +131,7 @@ impl Cache {
     /// configuring from user input should validate first.
     #[must_use]
     pub fn new(cfg: CacheConfig) -> Self {
+        // nvr-lint: allow(panic/hot-loop) reason="init-time config validation in the constructor, outside the tick loop"
         cfg.validate().expect("cache config must be valid");
         let sets = cfg.sets();
         Cache {
@@ -440,6 +441,7 @@ impl Cache {
             .enumerate()
             .min_by_key(|(_, w)| w.last_use)
             .map(|(i, _)| i)
+            // nvr-lint: allow(panic/hot-loop) reason="CacheConfig::validate rejects ways == 0, so min_by_key over a set's ways is total"
             .expect("ways is non-empty")
     }
 

@@ -91,6 +91,7 @@ impl DramBackend {
     /// Panics if the configuration fails [`DramConfig::validate`].
     #[must_use]
     pub fn new(cfg: DramConfig) -> Self {
+        // nvr-lint: allow(panic/hot-loop) reason="init-time config validation in the constructor, outside the tick loop"
         cfg.validate().expect("dram config must be valid");
         let stats = DramStats {
             channels: vec![Default::default(); cfg.channels],

@@ -29,6 +29,9 @@
 //! assert!(hit.ready_at < miss.ready_at + 30);
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 pub mod cache;
 pub mod config;
 pub mod dram;

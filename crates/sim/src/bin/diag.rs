@@ -1,3 +1,7 @@
+//! `diag` — one-screen coverage/accuracy summary of NVR vs the in-order
+//! baseline across all eight workloads at `Scale::Tiny`, for quick eyeball
+//! checks while hacking on the controller (`cargo run -p nvr_sim --bin diag`).
+
 use nvr_common::DataWidth;
 use nvr_mem::MemoryConfig;
 use nvr_sim::{coverage, run_system, SystemKind};

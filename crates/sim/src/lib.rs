@@ -20,6 +20,9 @@
 //! assert!(nvr.result.total_cycles <= base.result.total_cycles);
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 pub mod figures;
 pub mod metrics;
 pub mod report;

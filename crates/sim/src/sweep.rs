@@ -391,12 +391,14 @@ impl fmt::Display for SweepResults {
 /// Runs every cell of `spec` over `jobs` workers.
 #[must_use]
 pub fn run_sweep(spec: &SweepSpec, jobs: usize) -> SweepResults {
+    // nvr-lint: allow(determinism/wall-clock) reason="sweep-level wall clock feeds only timing_csv, never a simulation result"
     let t0 = Instant::now();
     let tasks: Vec<_> = spec
         .jobs()
         .into_iter()
         .map(|job| {
             move || {
+                // nvr-lint: allow(determinism/wall-clock) reason="per-cell wall clock lands in SweepCell::wall, excluded from deterministic CSVs"
                 let cell_t0 = Instant::now();
                 let outcome = job.run();
                 SweepCell {

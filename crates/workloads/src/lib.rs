@@ -29,6 +29,9 @@
 //! assert!(program.stats().gather_elems > 0);
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 pub mod double_sparsity;
 pub mod gat;
 pub mod gcn;
