@@ -1,0 +1,668 @@
+//! The per-file fingerprint cache (`target/nvr-lint-cache.json`).
+//!
+//! Pass 1 (lex + token rules + item parse) is the expensive part of a
+//! lint run and is a pure function of one file's bytes. The cache maps
+//! each workspace-relative path to an FNV-1a fingerprint of its contents
+//! plus the serialized [`FileAnalysis`]; on a warm run an unchanged file
+//! costs one read + hash + decode instead of a full re-analysis, while
+//! pass 2 (the semantic rules) always re-runs — it is cheap and any file
+//! can invalidate its findings.
+//!
+//! The format is a single JSON document written and parsed by the tiny
+//! hand-rolled reader below (std-only, like everything in this crate).
+//! [`CACHE_VERSION`] must be bumped whenever the lexer, parser, token
+//! rules or the [`FileAnalysis`] encoding change shape — a mismatched or
+//! unreadable cache is simply treated as empty, never an error.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::Path;
+
+use crate::diag::{json_escape, Diagnostic, Rule};
+use crate::model::{ConstArray, EnumDef, FileModel, MatchExpr, PathRef, StructDef, UnitOpSite};
+use crate::rules::{AllowData, FileAnalysis};
+
+/// Bump on any change to the lexer, the item parser, the token rules or
+/// this file's encoding: stale pass-1 results must never survive a
+/// `nvr-lint` upgrade.
+pub const CACHE_VERSION: u32 = 1;
+
+/// One cached file: content fingerprint plus its pass-1 analysis.
+#[derive(Debug, Clone)]
+pub struct Entry {
+    /// FNV-1a 64-bit hash of the file contents, hex-encoded.
+    pub fingerprint: String,
+    /// The pass-1 result the fingerprint vouches for.
+    pub analysis: FileAnalysis,
+}
+
+/// The whole cache: workspace-relative path → entry, sorted (BTreeMap)
+/// so the serialized document is deterministic.
+#[derive(Debug, Clone, Default)]
+pub struct Cache {
+    /// Per-file entries.
+    pub entries: BTreeMap<String, Entry>,
+}
+
+/// FNV-1a over the file bytes, hex-encoded. Not cryptographic — it only
+/// needs to make accidental collisions implausible for source files.
+#[must_use]
+pub fn fingerprint(src: &str) -> String {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in src.as_bytes() {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    format!("{hash:016x}")
+}
+
+/// Loads the cache at `path`. Any failure — missing file, parse error,
+/// version mismatch — yields an empty cache: correctness never depends
+/// on the cache, only wall-clock does.
+#[must_use]
+pub fn load(path: &Path) -> Cache {
+    let Ok(text) = fs::read_to_string(path) else {
+        return Cache::default();
+    };
+    decode(&text).unwrap_or_default()
+}
+
+/// Writes the cache to `path`, creating parent directories. Best-effort:
+/// the caller treats a failed write as "no cache next run".
+pub fn save(path: &Path, cache: &Cache) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent)?;
+    }
+    fs::write(path, encode(cache))
+}
+
+// ---------------------------------------------------------------------
+// Encoding. Compact positional arrays: the cache is machine-written and
+// machine-read, and a stable shape keeps the decoder trivial.
+
+fn encode(cache: &Cache) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{{\"version\":{CACHE_VERSION},\"files\":{{"));
+    for (i, (rel, entry)) in cache.entries.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\"{}\":{{\"fp\":\"{}\",",
+            json_escape(rel),
+            json_escape(&entry.fingerprint)
+        ));
+        let a = &entry.analysis;
+        out.push_str(&format!(
+            "\"findings\":{},\"allows\":{},\"malformed\":{},\"model\":{}}}",
+            encode_diags(&a.findings),
+            encode_allows(&a.allows),
+            encode_diags(&a.malformed),
+            encode_model(&a.model)
+        ));
+    }
+    out.push_str("}}\n");
+    out
+}
+
+fn encode_diags(diags: &[Diagnostic]) -> String {
+    let items: Vec<String> = diags
+        .iter()
+        .map(|d| {
+            format!(
+                "[\"{}\",{},\"{}\"]",
+                json_escape(d.rule.name()),
+                d.line,
+                json_escape(&d.message)
+            )
+        })
+        .collect();
+    format!("[{}]", items.join(","))
+}
+
+fn encode_allows(allows: &[AllowData]) -> String {
+    let items: Vec<String> = allows
+        .iter()
+        .map(|a| {
+            format!(
+                "[\"{}\",{},{}]",
+                json_escape(a.rule.name()),
+                a.line,
+                u8::from(a.standalone)
+            )
+        })
+        .collect();
+    format!("[{}]", items.join(","))
+}
+
+fn encode_model(m: &FileModel) -> String {
+    let enums: Vec<String> = m
+        .enums
+        .iter()
+        .map(|e| {
+            format!(
+                "[\"{}\",{},{}]",
+                json_escape(&e.name),
+                e.line,
+                encode_named(&e.variants)
+            )
+        })
+        .collect();
+    let structs: Vec<String> = m
+        .structs
+        .iter()
+        .map(|s| {
+            format!(
+                "[\"{}\",{},{}]",
+                json_escape(&s.name),
+                s.line,
+                encode_named(&s.fields)
+            )
+        })
+        .collect();
+    let matches: Vec<String> = m
+        .matches
+        .iter()
+        .map(|x| {
+            let roots: Vec<String> = x
+                .pattern_roots
+                .iter()
+                .map(|r| format!("\"{}\"", json_escape(r)))
+                .collect();
+            format!(
+                "[{},[{}],{},{}]",
+                x.line,
+                roots.join(","),
+                x.wildcard_line.unwrap_or(0),
+                x.arms
+            )
+        })
+        .collect();
+    let consts: Vec<String> = m
+        .const_arrays
+        .iter()
+        .map(|c| {
+            format!(
+                "[\"{}\",{},{}]",
+                json_escape(&c.name),
+                c.line,
+                encode_paths(&c.items)
+            )
+        })
+        .collect();
+    let idents: Vec<String> = m
+        .idents
+        .iter()
+        .map(|i| format!("\"{}\"", json_escape(i)))
+        .collect();
+    let csv: Vec<String> = m
+        .csv_headers
+        .iter()
+        .map(|(text, line)| format!("[\"{}\",{line}]", json_escape(text)))
+        .collect();
+    let unit_ops: Vec<String> = m
+        .unit_ops
+        .iter()
+        .map(|u| {
+            format!(
+                "[{},\"{}\",\"{}\"]",
+                u.line,
+                json_escape(&u.lhs),
+                json_escape(&u.rhs)
+            )
+        })
+        .collect();
+    let tests: Vec<String> = m
+        .test_ranges
+        .iter()
+        .map(|(a, b)| format!("[{a},{b}]"))
+        .collect();
+    format!(
+        "{{\"path\":\"{}\",\"enums\":[{}],\"structs\":[{}],\"matches\":[{}],\
+         \"paths\":{},\"consts\":[{}],\"idents\":[{}],\"csv\":[{}],\
+         \"unit_ops\":[{}],\"tests\":[{}]}}",
+        json_escape(&m.path),
+        enums.join(","),
+        structs.join(","),
+        matches.join(","),
+        encode_paths(&m.paths),
+        consts.join(","),
+        idents.join(","),
+        csv.join(","),
+        unit_ops.join(","),
+        tests.join(",")
+    )
+}
+
+fn encode_named(items: &[(String, u32)]) -> String {
+    let parts: Vec<String> = items
+        .iter()
+        .map(|(name, line)| format!("[\"{}\",{line}]", json_escape(name)))
+        .collect();
+    format!("[{}]", parts.join(","))
+}
+
+fn encode_paths(paths: &[PathRef]) -> String {
+    let parts: Vec<String> = paths
+        .iter()
+        .map(|p| {
+            format!(
+                "[\"{}\",\"{}\",{}]",
+                json_escape(&p.root),
+                json_escape(&p.name),
+                p.line
+            )
+        })
+        .collect();
+    format!("[{}]", parts.join(","))
+}
+
+// ---------------------------------------------------------------------
+// Decoding: a minimal recursive-descent JSON reader over the subset the
+// encoder emits (objects, arrays, strings, unsigned integers). Any
+// deviation returns None and the whole cache is discarded.
+
+#[derive(Debug)]
+enum Val {
+    Num(u64),
+    Str(String),
+    Arr(Vec<Val>),
+    Obj(Vec<(String, Val)>),
+}
+
+impl Val {
+    fn get<'a>(&'a self, key: &str) -> Option<&'a Val> {
+        match self {
+            Val::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn arr(&self) -> Option<&[Val]> {
+        match self {
+            Val::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    fn str(&self) -> Option<&str> {
+        match self {
+            Val::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn num(&self) -> Option<u64> {
+        match self {
+            Val::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    fn line(&self) -> Option<u32> {
+        self.num().and_then(|n| u32::try_from(n).ok())
+    }
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, b: u8) -> Option<()> {
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            Some(())
+        } else {
+            None
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn value(&mut self) -> Option<Val> {
+        match self.peek()? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => self.string().map(Val::Str),
+            b'0'..=b'9' => self.number(),
+            _ => None,
+        }
+    }
+
+    fn object(&mut self) -> Option<Val> {
+        self.eat(b'{')?;
+        let mut pairs = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Some(Val::Obj(pairs));
+        }
+        loop {
+            let key = self.string()?;
+            self.eat(b':')?;
+            pairs.push((key, self.value()?));
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Some(Val::Obj(pairs));
+                }
+                _ => return None,
+            }
+        }
+    }
+
+    fn array(&mut self) -> Option<Val> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Some(Val::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Some(Val::Arr(items));
+                }
+                _ => return None,
+            }
+        }
+    }
+
+    fn string(&mut self) -> Option<String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos)? {
+                b'"' => {
+                    self.pos += 1;
+                    return Some(out);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos)? {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'u' => {
+                            // \u00XX — the escaper only emits control chars.
+                            let hex = self.bytes.get(self.pos + 1..self.pos + 5)?;
+                            let code =
+                                u32::from_str_radix(std::str::from_utf8(hex).ok()?, 16).ok()?;
+                            out.push(char::from_u32(code)?);
+                            self.pos += 4;
+                        }
+                        _ => return None,
+                    }
+                    self.pos += 1;
+                }
+                b if *b < 0x80 => {
+                    out.push(*b as char);
+                    self.pos += 1;
+                }
+                b => {
+                    // Multi-byte UTF-8: the lead byte gives the length.
+                    let len = match b {
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        _ => 4,
+                    };
+                    let chunk = self.bytes.get(self.pos..self.pos + len)?;
+                    out.push_str(std::str::from_utf8(chunk).ok()?);
+                    self.pos += len;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Option<Val> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.bytes.get(self.pos).is_some_and(u8::is_ascii_digit) {
+            self.pos += 1;
+        }
+        if start == self.pos {
+            return None;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()?
+            .parse()
+            .ok()
+            .map(Val::Num)
+    }
+}
+
+fn decode(text: &str) -> Option<Cache> {
+    let mut reader = Reader {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    let root = reader.value()?;
+    if root.get("version")?.num()? != u64::from(CACHE_VERSION) {
+        return None;
+    }
+    let mut cache = Cache::default();
+    let Val::Obj(files) = root.get("files")? else {
+        return None;
+    };
+    for (rel, entry) in files {
+        cache.entries.insert(
+            rel.clone(),
+            Entry {
+                fingerprint: entry.get("fp")?.str()?.to_string(),
+                analysis: FileAnalysis {
+                    findings: decode_diags(entry.get("findings")?, rel)?,
+                    allows: decode_allows(entry.get("allows")?)?,
+                    malformed: decode_diags(entry.get("malformed")?, rel)?,
+                    model: decode_model(entry.get("model")?)?,
+                },
+            },
+        );
+    }
+    Some(cache)
+}
+
+fn decode_diags(val: &Val, rel: &str) -> Option<Vec<Diagnostic>> {
+    val.arr()?
+        .iter()
+        .map(|item| {
+            let item = item.arr()?;
+            Some(Diagnostic {
+                rule: Rule::from_name(item.first()?.str()?)?,
+                file: rel.to_string(),
+                line: item.get(1)?.line()?,
+                message: item.get(2)?.str()?.to_string(),
+            })
+        })
+        .collect()
+}
+
+fn decode_allows(val: &Val) -> Option<Vec<AllowData>> {
+    val.arr()?
+        .iter()
+        .map(|item| {
+            let item = item.arr()?;
+            Some(AllowData {
+                rule: Rule::from_name(item.first()?.str()?)?,
+                line: item.get(1)?.line()?,
+                standalone: item.get(2)?.num()? != 0,
+            })
+        })
+        .collect()
+}
+
+fn decode_named(val: &Val) -> Option<Vec<(String, u32)>> {
+    val.arr()?
+        .iter()
+        .map(|item| {
+            let item = item.arr()?;
+            Some((item.first()?.str()?.to_string(), item.get(1)?.line()?))
+        })
+        .collect()
+}
+
+fn decode_paths(val: &Val) -> Option<Vec<PathRef>> {
+    val.arr()?
+        .iter()
+        .map(|item| {
+            let item = item.arr()?;
+            Some(PathRef {
+                root: item.first()?.str()?.to_string(),
+                name: item.get(1)?.str()?.to_string(),
+                line: item.get(2)?.line()?,
+            })
+        })
+        .collect()
+}
+
+fn decode_model(val: &Val) -> Option<FileModel> {
+    let mut model = FileModel {
+        path: val.get("path")?.str()?.to_string(),
+        ..FileModel::default()
+    };
+    for item in val.get("enums")?.arr()? {
+        let item = item.arr()?;
+        model.enums.push(EnumDef {
+            name: item.first()?.str()?.to_string(),
+            line: item.get(1)?.line()?,
+            variants: decode_named(item.get(2)?)?,
+        });
+    }
+    for item in val.get("structs")?.arr()? {
+        let item = item.arr()?;
+        model.structs.push(StructDef {
+            name: item.first()?.str()?.to_string(),
+            line: item.get(1)?.line()?,
+            fields: decode_named(item.get(2)?)?,
+        });
+    }
+    for item in val.get("matches")?.arr()? {
+        let item = item.arr()?;
+        let wildcard = item.get(2)?.line()?;
+        model.matches.push(MatchExpr {
+            line: item.first()?.line()?,
+            pattern_roots: item
+                .get(1)?
+                .arr()?
+                .iter()
+                .map(|r| r.str().map(str::to_string))
+                .collect::<Option<_>>()?,
+            wildcard_line: (wildcard != 0).then_some(wildcard),
+            arms: item.get(3)?.line()?,
+        });
+    }
+    model.paths = decode_paths(val.get("paths")?)?;
+    for item in val.get("consts")?.arr()? {
+        let item = item.arr()?;
+        model.const_arrays.push(ConstArray {
+            name: item.first()?.str()?.to_string(),
+            line: item.get(1)?.line()?,
+            items: decode_paths(item.get(2)?)?,
+        });
+    }
+    model.idents = val
+        .get("idents")?
+        .arr()?
+        .iter()
+        .map(|i| i.str().map(str::to_string))
+        .collect::<Option<_>>()?;
+    for item in val.get("csv")?.arr()? {
+        let item = item.arr()?;
+        model
+            .csv_headers
+            .push((item.first()?.str()?.to_string(), item.get(1)?.line()?));
+    }
+    for item in val.get("unit_ops")?.arr()? {
+        let item = item.arr()?;
+        model.unit_ops.push(UnitOpSite {
+            line: item.first()?.line()?,
+            lhs: item.get(1)?.str()?.to_string(),
+            rhs: item.get(2)?.str()?.to_string(),
+        });
+    }
+    for item in val.get("tests")?.arr()? {
+        let item = item.arr()?;
+        model
+            .test_ranges
+            .push((item.first()?.line()?, item.get(1)?.line()?));
+    }
+    Some(model)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::analyze_source;
+
+    #[test]
+    fn fingerprints_differ_and_are_stable() {
+        let a = fingerprint("fn a() {}");
+        assert_eq!(a, fingerprint("fn a() {}"));
+        assert_ne!(a, fingerprint("fn b() {}"));
+        assert_eq!(a.len(), 16);
+    }
+
+    #[test]
+    fn analysis_round_trips_through_the_cache_format() {
+        let src = "pub enum Kind { A, B }\n\
+                   impl Kind { pub const ALL: [Kind; 2] = [Kind::A, Kind::B]; }\n\
+                   pub struct NvrConfig { pub vector_width: u32 }\n\
+                   // nvr-lint: allow(determinism/wall-clock) reason=\"test\"\n\
+                   fn f(k: Kind, a_cycles: u64, b_bytes: u64) -> u64 {\n\
+                   let h = \"tile,cycles\\n\";\n\
+                   match k { Kind::A => a_cycles + b_bytes, _ => 0 }\n}\n\
+                   #[cfg(test)]\nmod tests { use std::collections::HashMap;\n}\n";
+        let analysis = analyze_source("crates/core/src/x.rs", src);
+        let mut cache = Cache::default();
+        cache.entries.insert(
+            "crates/core/src/x.rs".to_string(),
+            Entry {
+                fingerprint: fingerprint(src),
+                analysis: analysis.clone(),
+            },
+        );
+        let decoded = decode(&encode(&cache)).expect("round trip");
+        let back = &decoded.entries["crates/core/src/x.rs"];
+        assert_eq!(back.fingerprint, fingerprint(src));
+        let (a, b) = (&analysis, &back.analysis);
+        assert_eq!(a.model, b.model);
+        assert_eq!(a.allows.len(), b.allows.len());
+        assert_eq!(a.findings.len(), b.findings.len());
+        for (x, y) in a.findings.iter().zip(&b.findings) {
+            assert_eq!((x.rule, x.line, &x.message), (y.rule, y.line, &y.message));
+        }
+    }
+
+    #[test]
+    fn version_mismatch_discards_cache() {
+        let text = format!("{{\"version\":{},\"files\":{{}}}}", CACHE_VERSION + 1);
+        assert!(decode(&text).is_none());
+        assert!(decode("not json").is_none());
+    }
+
+    #[test]
+    fn load_of_missing_file_is_empty() {
+        let cache = load(Path::new("/nonexistent/nvr-lint-cache.json"));
+        assert!(cache.entries.is_empty());
+    }
+}

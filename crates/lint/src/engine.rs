@@ -1,15 +1,24 @@
-//! Workspace discovery and the whole-tree lint pass.
+//! Workspace discovery and the two-pass whole-tree lint.
 //!
 //! Walks `crates/`, `tests/` and `examples/` under the workspace root
 //! (skipping `target/`, `vendor/` — third-party stand-ins — and any
-//! `fixtures/` directory, which holds deliberately-bad lint inputs),
-//! lints every `.rs` file and aggregates an ordered [`Report`].
+//! `fixtures/` directory, which holds deliberately-bad lint inputs).
+//! Pass 1 analyzes each file ([`crate::rules::analyze_source`], served
+//! from the fingerprint cache when unchanged); pass 2 stitches the
+//! per-file models into a [`WorkspaceModel`] and runs the cross-file
+//! semantic rules ([`crate::semantic`]) over it plus the two
+//! documentation files. Suppressions resolve *after* both passes, so an
+//! `allow(...)` comment covers semantic findings exactly like token
+//! findings.
 
 use std::fs;
 use std::path::{Path, PathBuf};
 
-use crate::diag::Report;
-use crate::rules::lint_source;
+use crate::cache::{self, Cache, Entry};
+use crate::diag::{Report, Rule};
+use crate::model::WorkspaceModel;
+use crate::rules::{analyze_source, resolve_file};
+use crate::semantic;
 
 /// Directory names never descended into.
 const SKIP_DIRS: [&str; 4] = ["target", "vendor", "fixtures", ".git"];
@@ -17,13 +26,43 @@ const SKIP_DIRS: [&str; 4] = ["target", "vendor", "fixtures", ".git"];
 /// Top-level directories scanned under the workspace root.
 const SCAN_ROOTS: [&str; 3] = ["crates", "tests", "examples"];
 
-/// Lints the workspace rooted at `root`.
+/// Documentation files the `csv/cross-file-schema` rule reads, relative
+/// to the workspace root. Missing files are simply skipped (fixture
+/// trees usually have none).
+const DOC_FILES: [&str; 2] = ["README.md", "docs/ARCHITECTURE.md"];
+
+/// Knobs for a workspace lint run.
+#[derive(Debug, Clone, Default)]
+pub struct LintOptions {
+    /// Where to load/store the pass-1 fingerprint cache; `None` disables
+    /// caching (every file re-analyzed).
+    pub cache_path: Option<PathBuf>,
+    /// Restrict the report to one rule (`--rule`); suppression-audit
+    /// diagnostics are filtered out too, so the output is exactly that
+    /// rule's findings.
+    pub rule: Option<Rule>,
+}
+
+/// Lints the workspace rooted at `root` with default options (no cache,
+/// all rules).
 ///
 /// # Errors
 ///
 /// Returns a message when `root` is not a workspace root (no `Cargo.toml`)
 /// or a file cannot be read.
 pub fn lint_workspace(root: &Path) -> Result<Report, String> {
+    lint_workspace_with(root, &LintOptions::default())
+}
+
+/// Lints the workspace rooted at `root`.
+///
+/// # Errors
+///
+/// Returns a message when `root` is not a workspace root (no `Cargo.toml`)
+/// or a file cannot be read. Cache load/store failures are *not* errors:
+/// an unreadable cache means a cold run, a failed write means the next
+/// run is cold too.
+pub fn lint_workspace_with(root: &Path, opts: &LintOptions) -> Result<Report, String> {
     if !root.join("Cargo.toml").is_file() {
         return Err(format!(
             "{} does not look like a workspace root (no Cargo.toml)",
@@ -35,6 +74,15 @@ pub fn lint_workspace(root: &Path) -> Result<Report, String> {
         collect_rs_files(&root.join(scan), &mut files);
     }
     files.sort();
+
+    // Pass 1, cache-aware. `fresh` becomes both this run's working set
+    // and the cache written back for the next run.
+    let old_cache = opts
+        .cache_path
+        .as_deref()
+        .map(cache::load)
+        .unwrap_or_default();
+    let mut fresh = Cache::default();
     let mut report = Report::default();
     for path in &files {
         let src =
@@ -46,8 +94,71 @@ pub fn lint_workspace(root: &Path) -> Result<Report, String> {
             .map(|c| c.as_os_str().to_string_lossy())
             .collect::<Vec<_>>()
             .join("/");
-        report.diagnostics.extend(lint_source(&rel, &src));
+        let fingerprint = cache::fingerprint(&src);
+        let analysis = match old_cache.entries.get(&rel) {
+            Some(entry) if entry.fingerprint == fingerprint => {
+                report.files_cached += 1;
+                entry.analysis.clone()
+            }
+            _ => analyze_source(&rel, &src),
+        };
         report.files_checked += 1;
+        fresh.entries.insert(
+            rel,
+            Entry {
+                fingerprint,
+                analysis,
+            },
+        );
+    }
+
+    // Pass 2: the cross-file rules over the stitched model + docs.
+    let model = WorkspaceModel {
+        files: fresh
+            .entries
+            .values()
+            .map(|e| e.analysis.model.clone())
+            .collect(),
+    };
+    report.model_stats = model.stats();
+    let docs: Vec<(String, String)> = DOC_FILES
+        .iter()
+        .filter_map(|rel| {
+            fs::read_to_string(root.join(rel))
+                .ok()
+                .map(|text| ((*rel).to_string(), text))
+        })
+        .collect();
+    let mut semantic_diags = semantic::run(&model, &docs);
+
+    // Suppression resolution, per file, over token + semantic findings.
+    for (rel, entry) in &fresh.entries {
+        let a = &entry.analysis;
+        let mut findings = a.findings.clone();
+        let mut i = 0;
+        while i < semantic_diags.len() {
+            if semantic_diags[i].file == *rel {
+                findings.push(semantic_diags.swap_remove(i));
+            } else {
+                i += 1;
+            }
+        }
+        report
+            .diagnostics
+            .extend(resolve_file(rel, findings, &a.allows, a.malformed.clone()));
+    }
+    // What remains targets the doc files, which carry no allow comments.
+    report.diagnostics.append(&mut semantic_diags);
+    report
+        .diagnostics
+        .sort_by(|a, b| (&a.file, a.line, a.rule.name()).cmp(&(&b.file, b.line, b.rule.name())));
+
+    if let Some(rule) = opts.rule {
+        report.diagnostics.retain(|d| d.rule == rule);
+    }
+    if let Some(path) = &opts.cache_path {
+        // Best-effort: a failed write only costs the next run its warmth.
+        let _ = cache::save(path, &fresh);
     }
     Ok(report)
 }

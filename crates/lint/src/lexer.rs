@@ -172,8 +172,9 @@ impl Lexer {
         self.out.comments.push(Comment { text, line });
     }
 
-    /// Handles `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#` and `b'…'`. Returns
-    /// false (consuming nothing) when `r`/`b` starts a plain identifier.
+    /// Handles `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`, `b'…'` and raw
+    /// identifiers (`r#match`). Returns false (consuming nothing) when
+    /// `r`/`b` starts a plain identifier.
     fn literal_prefix(&mut self, line: u32) -> bool {
         let c = self.peek(0);
         let mut idx = 1; // past the r/b
@@ -211,6 +212,30 @@ impl Lexer {
             self.bump(); // b
             self.bump(); // "
             self.cooked_string(line);
+            return true;
+        }
+        // `r#match`: a raw identifier, one code token. The `r#` stays in
+        // the text so a raw ident never impersonates the keyword to the
+        // item parser — a naive split would emit a stray `r`, `#`, `match`
+        // triple and fake a match expression.
+        if c == Some('r')
+            && hashes == 1
+            && self
+                .peek(idx)
+                .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        {
+            self.bump(); // r
+            self.bump(); // #
+            let mut text = String::from("r#");
+            while let Some(c) = self.peek(0) {
+                if c.is_ascii_alphanumeric() || c == '_' {
+                    text.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.push(TokKind::Ident, text, line);
             return true;
         }
         false
@@ -411,6 +436,64 @@ let real = HashMap::new();
             .map(|t| t.text.as_str())
             .collect();
         assert_eq!(nums, ["1", "4", "2.5"]);
+    }
+
+    #[test]
+    fn raw_identifiers_are_single_tokens() {
+        // A raw ident must neither split into `r # match` (faking a match
+        // expression to the item parser) nor collapse into the bare
+        // keyword.
+        let lexed = lex("let r#match = r#type + other;");
+        let ids = idents("let r#match = r#type + other;");
+        assert_eq!(ids, ["let", "r#match", "r#type", "other"]);
+        assert!(!lexed
+            .toks
+            .iter()
+            .any(|t| matches!(t.kind, TokKind::Punct('#'))));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_and_quotes() {
+        let lexed = lex(r####"let a = r#"quote " hash # done"#; let b = r##"x"# y"##;"####);
+        let strs: Vec<&str> = lexed
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Str)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(strs, ["quote \" hash # done", "x\"# y"]);
+    }
+
+    #[test]
+    fn nested_block_comments_terminate_exactly() {
+        // The ident after the comment must survive; the one inside must not.
+        let src = "/* outer /* inner /* deep */ still */ done */ after";
+        let lexed = lex(src);
+        assert_eq!(idents(src), ["after"]);
+        assert_eq!(lexed.comments.len(), 1);
+        assert!(lexed.comments[0].text.contains("deep"));
+    }
+
+    #[test]
+    fn lifetime_ticks_vs_char_literals() {
+        // `'a` in generics/refs is a lifetime; `'a'`, `'\''`, `b'x'` are
+        // chars; `'_'` is a char-shaped token, not an underscore lifetime.
+        let src = "fn f<'de>(x: &'de str) { let c = '\\''; let b = b'x'; let u = '_'; }";
+        let lexed = lex(src);
+        let lifetimes: Vec<&str> = lexed
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(lifetimes, ["'de", "'de"]);
+        let chars: Vec<&str> = lexed
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Char)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(chars, ["'", "x", "_"]);
     }
 
     #[test]

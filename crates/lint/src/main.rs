@@ -1,27 +1,45 @@
 //! The `nvr-lint` CLI.
 //!
 //! ```sh
-//! cargo run -p nvr_lint                     # lint the workspace, text output
+//! cargo run -p nvr_lint                     # two-pass workspace lint, text output
 //! cargo run -p nvr_lint -- --format json    # machine-readable report on stdout
 //! cargo run -p nvr_lint -- --out lint.json  # also write the JSON report to a file
 //! cargo run -p nvr_lint -- --list-rules     # print the rule catalogue
+//! cargo run -p nvr_lint -- --rule registry/wildcard-arm   # one rule only
+//! cargo run -p nvr_lint -- --explain config/dead-knob     # rule rationale
+//! cargo run -p nvr_lint -- --no-cache       # force a cold pass-1
 //! ```
 //!
-//! Exit codes: 0 clean, 1 violations found, 2 usage or I/O error.
+//! Exit codes: 0 clean, 1 violations found, 2 usage or I/O error. The
+//! pass-1 cache lives at `target/nvr-lint-cache.json` under the
+//! workspace root unless `--cache PATH` / `--no-cache` says otherwise; a
+//! timing line with the cache hit count goes to stderr so CI logs show
+//! cold-vs-warm wall-clock.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Instant;
 
-use nvr_lint::{find_workspace_root, lint_workspace, Rule};
+use nvr_lint::{find_workspace_root, lint_workspace_with, LintOptions, Rule};
 
 struct Args {
     format_json: bool,
     out: Option<PathBuf>,
     root: Option<PathBuf>,
     list_rules: bool,
+    rule: Option<Rule>,
+    explain: Option<Rule>,
+    cache: Option<PathBuf>,
+    no_cache: bool,
+}
+
+fn rule_by_name(name: &str) -> Result<Rule, String> {
+    Rule::from_name(name).ok_or_else(|| {
+        format!("unknown rule `{name}` (run `nvr-lint --list-rules` for the catalogue)")
+    })
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -30,6 +48,10 @@ fn parse_args() -> Result<Args, String> {
         out: None,
         root: None,
         list_rules: false,
+        rule: None,
+        explain: None,
+        cache: None,
+        no_cache: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -45,11 +67,25 @@ fn parse_args() -> Result<Args, String> {
             "--root" => {
                 args.root = Some(PathBuf::from(it.next().ok_or("--root expects a path")?));
             }
+            "--rule" => {
+                let name = it.next().ok_or("--rule expects a rule name")?;
+                args.rule = Some(rule_by_name(&name)?);
+            }
+            "--explain" => {
+                let name = it.next().ok_or("--explain expects a rule name")?;
+                args.explain = Some(rule_by_name(&name)?);
+            }
+            "--cache" => {
+                args.cache = Some(PathBuf::from(it.next().ok_or("--cache expects a path")?));
+            }
+            "--no-cache" => args.no_cache = true,
             "--list-rules" => args.list_rules = true,
             "-h" | "--help" => {
                 println!(
                     "nvr-lint: workspace determinism & invariant checks\n\n\
-                     USAGE: nvr-lint [--format text|json] [--out PATH] [--root PATH] [--list-rules]\n\n\
+                     USAGE: nvr-lint [--format text|json] [--out PATH] [--root PATH]\n\
+                     \x20               [--rule NAME] [--explain NAME] [--list-rules]\n\
+                     \x20               [--cache PATH] [--no-cache]\n\n\
                      Exit codes: 0 clean, 1 violations, 2 usage/I/O error."
                 );
                 std::process::exit(0);
@@ -74,6 +110,15 @@ fn main() -> ExitCode {
         }
         return ExitCode::SUCCESS;
     }
+    if let Some(rule) = args.explain {
+        println!(
+            "{}\n  {}\n\n{}",
+            rule.name(),
+            rule.describe(),
+            rule.explain()
+        );
+        return ExitCode::SUCCESS;
+    }
     let root = args.root.or_else(|| {
         std::env::current_dir()
             .ok()
@@ -83,13 +128,33 @@ fn main() -> ExitCode {
         eprintln!("nvr-lint: no workspace root found (pass --root)");
         return ExitCode::from(2);
     };
-    let report = match lint_workspace(&root) {
+    let opts = LintOptions {
+        cache_path: if args.no_cache {
+            None
+        } else {
+            Some(
+                args.cache
+                    .unwrap_or_else(|| root.join("target/nvr-lint-cache.json")),
+            )
+        },
+        rule: args.rule,
+    };
+    // Timing telemetry only: the measured duration is printed to stderr
+    // and never feeds a result.
+    // nvr-lint: allow(determinism/wall-clock) reason="CLI wall-clock telemetry for the CI cold-vs-warm cache line; stderr only"
+    let started = Instant::now();
+    let report = match lint_workspace_with(&root, &opts) {
         Ok(report) => report,
         Err(e) => {
             eprintln!("nvr-lint: {e}");
             return ExitCode::from(2);
         }
     };
+    let elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
+    eprintln!(
+        "nvr-lint: pass 1+2 over {} file(s) ({} cached) in {elapsed_ms:.1} ms",
+        report.files_checked, report.files_cached
+    );
     if let Some(out) = &args.out {
         if let Err(e) = std::fs::write(out, report.to_json()) {
             eprintln!("nvr-lint: writing {}: {e}", out.display());

@@ -1,12 +1,22 @@
-//! The rule checks and the audited-suppression machinery.
+//! The per-file (pass 1) rule checks and the audited-suppression
+//! machinery.
 //!
-//! [`lint_source`] is the pure per-file entry point: lex, run every rule
-//! whose scope covers the file, then resolve `// nvr-lint: allow(rule)
-//! reason="..."` comments — dropping suppressed findings, flagging
-//! malformed allows, and flagging allows that suppressed nothing.
+//! Two entry points:
+//!
+//! * [`analyze_source`] is the cacheable pass-1 half: lex, run every
+//!   token rule whose scope covers the file, parse the suppression
+//!   comments and build the file's [`FileModel`] — *without* resolving
+//!   suppressions, because the workspace semantic pass may still add
+//!   findings that the same allows must be able to cover.
+//! * [`resolve_file`] applies the allows to the combined finding list
+//!   (token + semantic), flagging unused allows.
+//!
+//! [`lint_source`] composes the two for single-file use (tests, fixture
+//! checks); the engine interleaves the semantic pass between them.
 
 use crate::diag::{Diagnostic, Rule};
 use crate::lexer::{lex, Lexed, Tok, TokKind};
+use crate::model::FileModel;
 
 /// Crates whose numeric outputs land in figures/CSVs — the set where
 /// unordered containers would silently break `--jobs` bit-equality.
@@ -61,20 +71,21 @@ const KNOB_STRUCTS: [&str; 6] = [
     "SweepJob",
 ];
 
-/// A parsed `nvr-lint: allow(rule) reason="..."` comment.
-#[derive(Debug)]
-struct Allow {
-    rule: Rule,
+/// A parsed `nvr-lint: allow(rule) reason="..."` comment — the
+/// serializable half (the runtime `used` flag lives in [`resolve_file`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AllowData {
+    /// The rule being suppressed.
+    pub rule: Rule,
     /// Line of the comment itself.
-    line: u32,
-    /// Line(s) the allow covers: its own line, and the following line
-    /// when the comment stands alone above the code it annotates.
-    standalone: bool,
-    used: bool,
+    pub line: u32,
+    /// Whether the comment stands alone above the code it annotates (in
+    /// which case it also covers the following line).
+    pub standalone: bool,
 }
 
-impl Allow {
-    fn covers(&self, rule: Rule, line: u32) -> bool {
+impl AllowData {
+    fn covers(self, rule: Rule, line: u32) -> bool {
         if self.rule != rule {
             return false;
         }
@@ -85,35 +96,68 @@ impl Allow {
     }
 }
 
-/// Lints one file's source. `rel` is the workspace-relative path with
-/// forward slashes — rule scoping keys off it.
+/// Everything pass 1 learns about one file — pure in the file contents,
+/// which is what makes it cacheable by fingerprint.
+#[derive(Debug, Clone, Default)]
+pub struct FileAnalysis {
+    /// Token-rule findings, *before* suppression resolution.
+    pub findings: Vec<Diagnostic>,
+    /// Well-formed suppression comments.
+    pub allows: Vec<AllowData>,
+    /// Malformed-allow diagnostics (never suppressible).
+    pub malformed: Vec<Diagnostic>,
+    /// The file's slice of the workspace model.
+    pub model: FileModel,
+}
+
+/// Pass 1 for one file: token rules + suppression comments + item model.
+/// `rel` is the workspace-relative path with forward slashes — rule
+/// scoping keys off it.
 #[must_use]
-pub fn lint_source(rel: &str, src: &str) -> Vec<Diagnostic> {
+pub fn analyze_source(rel: &str, src: &str) -> FileAnalysis {
     let lexed = lex(src);
     let test_lines = cfg_test_lines(&lexed);
-    let mut found: Vec<Diagnostic> = Vec::new();
+    let mut findings: Vec<Diagnostic> = Vec::new();
 
-    check_ordered_containers(rel, &lexed, &mut found);
-    check_wall_clock(rel, &lexed, &mut found);
-    check_thread_state(rel, &lexed, &mut found);
-    check_lossy_cast(rel, &lexed, &test_lines, &mut found);
-    check_panic_hot_loop(rel, &lexed, &test_lines, &mut found);
-    check_crate_root_attrs(rel, &lexed, &mut found);
-    check_knob_doc(rel, src, &mut found);
-    check_csv_schema(rel, &lexed, &mut found);
+    check_ordered_containers(rel, &lexed, &mut findings);
+    check_wall_clock(rel, &lexed, &mut findings);
+    check_thread_state(rel, &lexed, &mut findings);
+    check_lossy_cast(rel, &lexed, &test_lines, &mut findings);
+    check_panic_hot_loop(rel, &lexed, &test_lines, &mut findings);
+    check_crate_root_attrs(rel, &lexed, &mut findings);
+    check_knob_doc(rel, src, &mut findings);
+    check_csv_schema(rel, &lexed, &mut findings);
 
-    let (mut allows, mut diags) = parse_allows(rel, &lexed);
+    let (allows, malformed) = parse_allows(rel, &lexed);
+    FileAnalysis {
+        findings,
+        allows,
+        malformed,
+        model: crate::parser::parse_file(rel, &lexed),
+    }
+}
 
-    // Resolve suppressions: a finding covered by an allow is dropped and
-    // marks the allow used; everything else survives.
-    for d in found {
-        match allows.iter_mut().find(|a| a.covers(d.rule, d.line)) {
-            Some(allow) => allow.used = true,
+/// Resolves suppressions over the combined finding list of one file: a
+/// finding covered by an allow is dropped and marks the allow used;
+/// unused allows become findings themselves. Returns the surviving
+/// diagnostics in (line, rule) order.
+#[must_use]
+pub fn resolve_file(
+    rel: &str,
+    findings: Vec<Diagnostic>,
+    allows: &[AllowData],
+    malformed: Vec<Diagnostic>,
+) -> Vec<Diagnostic> {
+    let mut used = vec![false; allows.len()];
+    let mut diags = malformed;
+    for d in findings {
+        match allows.iter().position(|a| a.covers(d.rule, d.line)) {
+            Some(i) => used[i] = true,
             None => diags.push(d),
         }
     }
-    for allow in &allows {
-        if !allow.used {
+    for (allow, used) in allows.iter().zip(used) {
+        if !used {
             diags.push(Diagnostic {
                 rule: Rule::UnusedAllow,
                 file: rel.into(),
@@ -129,9 +173,17 @@ pub fn lint_source(rel: &str, src: &str) -> Vec<Diagnostic> {
     diags
 }
 
+/// Lints one file's source with the per-file rules only (no workspace
+/// semantic pass): pass 1 plus suppression resolution.
+#[must_use]
+pub fn lint_source(rel: &str, src: &str) -> Vec<Diagnostic> {
+    let analysis = analyze_source(rel, src);
+    resolve_file(rel, analysis.findings, &analysis.allows, analysis.malformed)
+}
+
 /// Parses every suppression comment; returns well-formed allows plus
 /// diagnostics for malformed ones.
-fn parse_allows(rel: &str, lexed: &Lexed) -> (Vec<Allow>, Vec<Diagnostic>) {
+fn parse_allows(rel: &str, lexed: &Lexed) -> (Vec<AllowData>, Vec<Diagnostic>) {
     let mut allows = Vec::new();
     let mut diags = Vec::new();
     for comment in &lexed.comments {
@@ -177,11 +229,10 @@ fn parse_allows(rel: &str, lexed: &Lexed) -> (Vec<Allow>, Vec<Diagnostic>) {
             .map(|r| &rest[r + "reason=\"".len()..])
             .and_then(|tail| tail.find('"').map(|end| tail[..end].trim()));
         match reason {
-            Some(r) if !r.is_empty() => allows.push(Allow {
+            Some(r) if !r.is_empty() => allows.push(AllowData {
                 rule,
                 line: comment.line,
                 standalone: !lexed.has_code_on_line(comment.line),
-                used: false,
             }),
             _ => malformed(format!(
                 "allow({rule}) needs a non-empty reason=\"...\" — suppressions are audited"
@@ -192,8 +243,9 @@ fn parse_allows(rel: &str, lexed: &Lexed) -> (Vec<Allow>, Vec<Diagnostic>) {
 }
 
 /// Lines covered by `#[cfg(test)]` items: rules that police production
-/// tick paths skip these (tests unwrap freely, by design).
-fn cfg_test_lines(lexed: &Lexed) -> Vec<(u32, u32)> {
+/// tick paths skip these (tests unwrap freely, by design). The parser
+/// reuses it to stamp [`crate::model::FileModel::test_ranges`].
+pub(crate) fn cfg_test_lines(lexed: &Lexed) -> Vec<(u32, u32)> {
     let toks = &lexed.toks;
     let mut ranges = Vec::new();
     let mut i = 0;

@@ -111,8 +111,98 @@ fn list_rules_prints_catalogue_and_exits_zero() {
         "determinism/ordered-containers",
         "determinism/wall-clock",
         "csv/schema-sync",
+        "registry/variant-drift",
+        "registry/wildcard-arm",
+        "config/dead-knob",
+        "csv/cross-file-schema",
+        "units/suffix-mix",
         "lint/unused-allow",
     ] {
         assert!(stdout.contains(rule), "missing {rule} in:\n{stdout}");
     }
+}
+
+#[test]
+fn explain_prints_rationale_and_exits_zero() {
+    let out = bin()
+        .args(["--explain", "config/dead-knob"])
+        .output()
+        .expect("spawn nvr-lint");
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("config/dead-knob"), "{stdout}");
+    assert!(stdout.contains("knob wired to nothing"), "{stdout}");
+}
+
+#[test]
+fn explain_unknown_rule_exits_two() {
+    let out = bin()
+        .args(["--explain", "nonsense/rule"])
+        .output()
+        .expect("spawn nvr-lint");
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown rule"), "{stderr}");
+}
+
+#[test]
+fn rule_filter_gates_the_exit_code() {
+    let root = fake_workspace("rule-filter", SEEDED_LIB);
+    // The seeded violation is ordered-containers; filtering on an
+    // unrelated rule leaves a clean report.
+    let out = run(&root, &["--rule", "determinism/wall-clock"]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let out = run(&root, &["--rule", "determinism/ordered-containers"]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("determinism/ordered-containers"),
+        "{stdout}"
+    );
+    // Unknown rule names are a usage error.
+    let out = run(&root, &["--rule", "nonsense/rule"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+}
+
+#[test]
+fn cache_warms_hits_and_invalidates_on_edit() {
+    let root = fake_workspace("cache", CLEAN_LIB);
+    let cache = root.join("lint-cache.json");
+    let cache_args = [
+        "--cache",
+        cache.to_str().expect("utf8 path"),
+        "--format",
+        "json",
+    ];
+    // The fake-workspace dir persists across test-suite invocations.
+    let _ = fs::remove_file(&cache);
+
+    let out = run(&root, &cache_args);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("\"files_cached\": 0"), "cold: {stdout}");
+    assert!(cache.is_file(), "cache written on the cold run");
+
+    let out = run(&root, &cache_args);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("\"files_cached\": 1"), "warm: {stdout}");
+
+    // Any content change flips the fingerprint and forces re-analysis.
+    let lib = root.join("crates/core/src/lib.rs");
+    let edited = format!("{CLEAN_LIB}\n/// Another.\npub fn more() {{}}\n");
+    fs::write(&lib, edited).expect("edit lib.rs");
+    let out = run(&root, &cache_args);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("\"files_cached\": 0"), "edited: {stdout}");
+}
+
+#[test]
+fn no_cache_flag_writes_nothing() {
+    let root = fake_workspace("no-cache", CLEAN_LIB);
+    let out = run(&root, &["--no-cache"]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    assert!(
+        !root.join("target/nvr-lint-cache.json").exists(),
+        "--no-cache must not create the default cache file"
+    );
 }

@@ -1,0 +1,3 @@
+pub struct NpuConfig {
+    pub vector_width: u32,
+}

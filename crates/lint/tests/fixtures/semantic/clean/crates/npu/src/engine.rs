@@ -1,0 +1,3 @@
+pub fn lanes(c: &NpuConfig) -> u32 {
+    c.vector_width
+}

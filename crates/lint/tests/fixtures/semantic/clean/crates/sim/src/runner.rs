@@ -1,0 +1,15 @@
+pub enum SystemKind {
+    InOrder,
+    Nvr,
+}
+
+impl SystemKind {
+    pub const ALL: [SystemKind; 2] = [SystemKind::InOrder, SystemKind::Nvr];
+
+    pub fn label(self) -> u32 {
+        match self {
+            SystemKind::InOrder => 0,
+            SystemKind::Nvr => 1,
+        }
+    }
+}

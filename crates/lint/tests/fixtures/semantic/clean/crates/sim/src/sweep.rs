@@ -1,0 +1,11 @@
+pub fn header() -> &'static str {
+    "system_id,total_cycles\n"
+}
+
+pub fn smoke() {
+    let _ = (SystemKind::InOrder, SystemKind::Nvr);
+}
+
+pub fn total(run_cycles: u64, stall_cycles: u64) -> u64 {
+    run_cycles + stall_cycles
+}

@@ -1,0 +1,3 @@
+pub fn header() -> &'static str {
+    "tile_id,total_cycles\n"
+}

@@ -1,0 +1,4 @@
+pub struct NpuConfig {
+    pub vector_width: u32,
+    pub phantom_knob: u32,
+}

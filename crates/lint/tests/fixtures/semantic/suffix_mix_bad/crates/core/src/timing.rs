@@ -1,0 +1,4 @@
+pub fn stall(total_cycles: u64, row_bytes: u64) -> u64 {
+    let mixed = total_cycles + row_bytes;
+    mixed
+}

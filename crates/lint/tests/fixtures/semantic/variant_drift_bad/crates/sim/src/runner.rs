@@ -1,0 +1,9 @@
+pub enum SystemKind {
+    InOrder,
+    Nvr,
+    Ghost,
+}
+
+impl SystemKind {
+    pub const ALL: [SystemKind; 2] = [SystemKind::InOrder, SystemKind::Nvr];
+}

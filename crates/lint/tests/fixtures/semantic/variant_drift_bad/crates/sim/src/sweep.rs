@@ -1,0 +1,3 @@
+pub fn smoke() {
+    let _ = (SystemKind::InOrder, SystemKind::Nvr);
+}

@@ -1,0 +1,7 @@
+pub fn weight(k: SystemKind) -> u32 {
+    match k {
+        SystemKind::InOrder => 1,
+        // nvr-lint: allow(registry/wildcard-arm) reason="fixture: deliberate catch-all"
+        _ => 0,
+    }
+}

@@ -1,0 +1,6 @@
+pub fn weight(k: SystemKind) -> u32 {
+    match k {
+        SystemKind::InOrder => 1,
+        _ => 0,
+    }
+}

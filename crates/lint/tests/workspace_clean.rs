@@ -29,4 +29,28 @@ fn real_workspace_lints_clean() {
         "only {} files checked — walker lost the tree?",
         report.files_checked
     );
+    // The semantic pass ran over a populated model: the real tree defines
+    // the three registry enums (SystemKind, WorkloadId, FigureId), the
+    // config structs, dispatch matches and the sweep CSV writers. All
+    // zeros would mean pass 2 silently saw an empty workspace.
+    let s = report.model_stats;
+    assert_eq!(s.files, report.files_checked, "every file is modelled");
+    assert!(s.enums >= 3, "registry enums missing from the model: {s:?}");
+    assert!(
+        s.variants >= 15,
+        "enum variants missing from the model: {s:?}"
+    );
+    assert!(
+        s.structs >= 5,
+        "config structs missing from the model: {s:?}"
+    );
+    assert!(s.fields >= 10, "pub fields missing from the model: {s:?}");
+    assert!(
+        s.matches >= 10,
+        "match expressions missing from the model: {s:?}"
+    );
+    assert!(
+        s.csv_headers >= 1,
+        "sweep CSV writers missing from the model: {s:?}"
+    );
 }

@@ -83,14 +83,25 @@ impl SystemKind {
     pub fn effective_mem_cfg(self, mem_cfg: &MemoryConfig) -> MemoryConfig {
         match self {
             SystemKind::NvrNsb if mem_cfg.nsb.is_none() => mem_cfg.clone().with_nsb(nsb_config(16)),
-            _ => mem_cfg.clone(),
+            SystemKind::InOrder
+            | SystemKind::OutOfOrder
+            | SystemKind::Stream
+            | SystemKind::Imp
+            | SystemKind::Dvr
+            | SystemKind::Nvr
+            | SystemKind::NvrNsb => mem_cfg.clone(),
         }
     }
 
     fn npu_config(self) -> NpuConfig {
         match self {
             SystemKind::OutOfOrder => NpuConfig::out_of_order(),
-            _ => NpuConfig::default(),
+            SystemKind::InOrder
+            | SystemKind::Stream
+            | SystemKind::Imp
+            | SystemKind::Dvr
+            | SystemKind::Nvr
+            | SystemKind::NvrNsb => NpuConfig::default(),
         }
     }
 
