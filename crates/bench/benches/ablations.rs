@@ -4,13 +4,14 @@ use nvr_common::DataWidth;
 use nvr_core::{NvrConfig, NvrPrefetcher, TriggerPolicy};
 use nvr_mem::{MemoryConfig, MemorySystem};
 use nvr_npu::{NpuConfig, NpuEngine};
-use nvr_workloads::{Scale, WorkloadId, WorkloadSpec};
+use nvr_workloads::{Scale, TileOrder, WorkloadId, WorkloadSpec};
 
 fn run_with(cfg: NvrConfig) -> u64 {
     let spec = WorkloadSpec {
         width: DataWidth::Fp16,
         seed: 9,
         scale: Scale::Tiny,
+        order: TileOrder::Natural,
     };
     let program = WorkloadId::Ds.build(&spec);
     let engine = NpuEngine::new(NpuConfig::default());

@@ -7,13 +7,14 @@ use nvr_core::{NvrConfig, NvrPrefetcher, TriggerPolicy};
 use nvr_mem::{MemoryConfig, MemorySystem};
 use nvr_npu::{NpuConfig, NpuEngine};
 use nvr_prefetch::NullPrefetcher;
-use nvr_workloads::{Scale, WorkloadId, WorkloadSpec};
+use nvr_workloads::{Scale, TileOrder, WorkloadId, WorkloadSpec};
 
 fn run_variant(label: &str, cfg: NvrConfig, workload: WorkloadId) {
     let spec = WorkloadSpec {
         width: DataWidth::Fp16,
         seed: EXPERIMENT_SEED,
         scale: Scale::Default,
+        order: TileOrder::Natural,
     };
     let program = workload.build(&spec);
     let engine = NpuEngine::new(NpuConfig::default());
@@ -44,6 +45,7 @@ fn nsb_associativity_ablation() {
         width: DataWidth::Fp16,
         seed: EXPERIMENT_SEED,
         scale: Scale::Default,
+        order: TileOrder::Natural,
     };
     let program = WorkloadId::H2o.build(&spec);
     let engine = NpuEngine::new(NpuConfig::default());
@@ -54,6 +56,7 @@ fn nsb_associativity_ablation() {
             ways,
             hit_latency: 2,
             mshr_entries: 16,
+            policy: nvr_mem::RetentionPolicy::ScoredReuse,
         };
         let mem_cfg = MemoryConfig::default().with_nsb(nsb);
         let mut mem = MemorySystem::new(mem_cfg);

@@ -11,7 +11,7 @@
 use nvr_common::DataWidth;
 use nvr_mem::MemoryConfig;
 use nvr_sim::{run_system, RunOutcome, SystemKind};
-use nvr_workloads::{Scale, WorkloadId, WorkloadSpec};
+use nvr_workloads::{Scale, TileOrder, WorkloadId, WorkloadSpec};
 
 /// Seed used by all experiment binaries, so printed numbers are stable.
 pub const EXPERIMENT_SEED: u64 = 2025;
@@ -65,6 +65,7 @@ pub fn bench_unit(workload: WorkloadId, system: SystemKind) -> RunOutcome {
         width: DataWidth::Fp16,
         seed: EXPERIMENT_SEED,
         scale: Scale::Tiny,
+        order: TileOrder::Natural,
     };
     let program = workload.build(&spec);
     run_system(&program, &MemoryConfig::default(), system)

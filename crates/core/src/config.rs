@@ -100,6 +100,25 @@ pub struct NvrConfig {
     /// the memory system has one). Default false; [`NvrConfig::with_nsb`]
     /// enables it.
     pub fill_nsb: bool,
+    /// DARE-style retention-priority threshold: a resolved target line's
+    /// predicted-reuse score (how many *more* times the current runahead
+    /// windows will touch the line, counted by the controller's
+    /// [`crate::ReusePredictor`] over the window machinery's resolved
+    /// targets) earns eviction protection in scored levels only once it
+    /// reaches this value. Every prefetch still fills the NSB — streaming
+    /// workloads keep their near-NPU hits — but below-threshold lines
+    /// compete at score 1 (their single imminent use), so demonstrated
+    /// hubs outrank the stream for residency. 0 disables scoring entirely
+    /// — every fill carries score 0 and scored levels behave exactly as
+    /// pure LRU, bit for bit. Only meaningful with [`NvrConfig::fill_nsb`]
+    /// and a [`nvr_mem::RetentionPolicy::ScoredReuse`] NSB
+    /// ([`crate::nsb_scored`]). Default 0; [`NvrConfig::with_nsb`] sets
+    /// the calibrated value 4 (a line must be touched by at least four
+    /// distinct gather targets in the lookahead horizon to outrank NSB
+    /// residents — the sweet spot of the fig9 policy study: lower
+    /// thresholds pin GSABT's briefly-hot attention blocks past their
+    /// window, higher ones forfeit GCN's and DS's hub reuse).
+    pub nsb_admit_min_reuse: u32,
     /// Runahead entry policy (§III Q&A1). Default
     /// [`TriggerPolicy::OnLoad`], the paper's proactive design.
     pub trigger: TriggerPolicy,
@@ -111,6 +130,7 @@ impl NvrConfig {
     pub fn with_nsb() -> Self {
         NvrConfig {
             fill_nsb: true,
+            nsb_admit_min_reuse: 4,
             ..NvrConfig::default()
         }
     }
@@ -160,6 +180,7 @@ impl Default for NvrConfig {
             fuzzy_factor: 1.1,
             use_lbd: true,
             fill_nsb: false,
+            nsb_admit_min_reuse: 0,
             trigger: TriggerPolicy::OnLoad,
         }
     }

@@ -74,6 +74,7 @@ use nvr_trace::{AccessEvent, EventKind, MemoryImage, SnoopState};
 use crate::config::{NvrConfig, TriggerPolicy};
 use crate::lifetime::LifetimeTracker;
 use crate::loop_bound::{LoopBoundDetector, Window};
+use crate::reuse::ReusePredictor;
 use crate::sparse_chain::SparseChainDetector;
 use crate::stride_detector::StrideDetector;
 use crate::vmig::Vmig;
@@ -149,6 +150,11 @@ pub struct NvrPrefetcher {
     scd: SparseChainDetector,
     vmig: Vmig,
     lifetime: LifetimeTracker,
+    /// Per-line reuse scoring over resolved targets, feeding the NSB's
+    /// DARE-style admission (active only when
+    /// [`NvrConfig::nsb_admit_min_reuse`] is non-zero and fills target
+    /// the NSB).
+    reuse: ReusePredictor,
     clock: Cycle,
     /// In-flight speculative windows, oldest first (the lookahead
     /// pipeline). Capacity is the throttled effective depth.
@@ -174,12 +180,19 @@ impl NvrPrefetcher {
     pub fn new(cfg: NvrConfig) -> Self {
         // nvr-lint: allow(panic/hot-loop) reason="init-time config validation in the constructor, outside the tick loop"
         cfg.validate().expect("nvr config must be valid");
+        let mut vmig = Vmig::new(cfg.vmig_batch_lines);
+        vmig.set_nsb_admit(if cfg.fill_nsb {
+            cfg.nsb_admit_min_reuse
+        } else {
+            0
+        });
         NvrPrefetcher {
             sd: StrideDetector::new(cfg.vector_width),
             lbd: LoopBoundDetector::new(cfg.fuzzy_factor),
             scd: SparseChainDetector::new(),
-            vmig: Vmig::new(cfg.vmig_batch_lines),
+            vmig,
             lifetime: LifetimeTracker::new(cfg.throttle_window),
+            reuse: ReusePredictor::new(),
             clock: 0,
             windows: VecDeque::with_capacity(cfg.lookahead_tiles),
             life_log_on: false,
@@ -194,6 +207,22 @@ impl NvrPrefetcher {
     #[must_use]
     pub fn vmig(&self) -> &Vmig {
         &self.vmig
+    }
+
+    /// Whether reuse scoring is active: fills target the NSB *and* the
+    /// admission threshold is non-zero. When inactive every line carries
+    /// score 0 and the memory side behaves exactly as pure LRU.
+    fn scoring_active(&self) -> bool {
+        self.cfg.fill_nsb && self.cfg.nsb_admit_min_reuse > 0
+    }
+
+    /// Whether *unscored* single-use traffic (index stream lines,
+    /// two-level intermediate probes) should fill the NSB. With scoring
+    /// active it must not: those lines are consumed once by the runahead
+    /// thread itself, and letting them compete for the NSB's 256 lines is
+    /// precisely the thrash the admission threshold exists to stop.
+    fn bulk_fill_nsb(&self) -> bool {
+        self.cfg.fill_nsb && !self.scoring_active()
     }
 
     /// Whether any speculative window is in flight (for tests).
@@ -344,7 +373,7 @@ impl NvrPrefetcher {
             // still-queued duplicate is dropped later by the VIGU's
             // residency filter.
             self.sd.note_prefetched(PC_INDEX_LOAD, line);
-            match mem.prefetch_line(line, self.clock, self.cfg.fill_nsb) {
+            match mem.prefetch_line(line, self.clock, self.bulk_fill_nsb()) {
                 nvr_mem::PrefetchOutcome::Issued { fill_done } => ready = ready.max(fill_done),
                 nvr_mem::PrefetchOutcome::Redundant => {
                     // Already resident or in flight (e.g. from stream-ahead):
@@ -458,7 +487,7 @@ impl NvrPrefetcher {
                         // nvr-lint: allow(panic/hot-loop) reason="guarded by the is_two_level() branch above; probe_addr is total for two-level SCDs"
                         let probe = self.scd.probe_addr(v).expect("two-level entry");
                         if let nvr_mem::PrefetchOutcome::Issued { fill_done } =
-                            mem.prefetch_line(probe.line(), self.clock, self.cfg.fill_nsb)
+                            mem.prefetch_line(probe.line(), self.clock, self.bulk_fill_nsb())
                         {
                             ready = ready.max(fill_done);
                         }
@@ -471,13 +500,22 @@ impl NvrPrefetcher {
                         ready,
                     };
                 } else {
+                    // Score each resolved target line by how often the
+                    // window machinery has touched it: hub rows resolved by
+                    // many neighbouring windows earn admission to the NSB,
+                    // cold rows stay L2-only (scores all-zero when scoring
+                    // is inactive, reproducing unscored behaviour exactly).
+                    let scoring = self.scoring_active();
                     let mut bundle = Vec::with_capacity(values.len());
                     for &v in &values {
                         if let Some(target) = self.scd.predict_and_track(v) {
-                            bundle.extend(target.lines());
+                            for line in target.lines() {
+                                let score = if scoring { self.reuse.observe(line) } else { 0 };
+                                bundle.push((line, score));
+                            }
                         }
                     }
-                    self.vmig.push_bundle(bundle);
+                    self.vmig.push_bundle_scored(bundle);
                     self.windows[i].phase = Phase::Resolve {
                         window,
                         next_elem: group_end,
@@ -491,14 +529,18 @@ impl NvrPrefetcher {
                 probes,
                 ..
             } => {
+                let scoring = self.scoring_active();
                 let mut bundle = Vec::with_capacity(probes.len());
                 for probe in &probes {
                     let slot = image.read_u32(*probe);
                     if let Some(target) = self.scd.predict_and_track(slot) {
-                        bundle.extend(target.lines());
+                        for line in target.lines() {
+                            let score = if scoring { self.reuse.observe(line) } else { 0 };
+                            bundle.push((line, score));
+                        }
                     }
                 }
-                self.vmig.push_bundle(bundle);
+                self.vmig.push_bundle_scored(bundle);
                 self.windows[i].phase = Phase::Resolve { window, next_elem };
                 StepOutcome::Worked
             }

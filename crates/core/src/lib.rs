@@ -55,6 +55,7 @@ pub mod lifetime;
 pub mod loop_bound;
 pub mod nsb;
 pub mod overhead;
+pub mod reuse;
 pub mod sparse_chain;
 pub mod stride_detector;
 pub mod vmig;
@@ -63,8 +64,9 @@ pub use config::{NvrConfig, TriggerPolicy};
 pub use controller::NvrPrefetcher;
 pub use lifetime::LifetimeTracker;
 pub use loop_bound::LoopBoundDetector;
-pub use nsb::nsb_config;
+pub use nsb::{nsb_config, nsb_scored};
 pub use overhead::{overhead_report, OverheadReport};
+pub use reuse::ReusePredictor;
 pub use sparse_chain::SparseChainDetector;
 pub use stride_detector::StrideDetector;
 pub use vmig::Vmig;

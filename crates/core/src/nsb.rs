@@ -7,7 +7,7 @@
 //! configurations used across the evaluation (16 KB default; 4–32 KB in the
 //! Fig. 9 sensitivity sweep).
 
-use nvr_mem::CacheConfig;
+use nvr_mem::{CacheConfig, RetentionPolicy};
 
 /// An NSB configuration of `kib` kibibytes.
 ///
@@ -48,7 +48,34 @@ pub fn nsb_config(kib: u64) -> CacheConfig {
         ways,
         hit_latency: 2,
         mshr_entries: 16,
+        policy: RetentionPolicy::Lru,
     }
+}
+
+/// [`nsb_config`] with the reuse-aware retention policy
+/// ([`RetentionPolicy::ScoredReuse`]): speculative fills carry a
+/// predicted-reuse score, and a fill that does not strictly beat the
+/// weakest resident line is rejected (buffets-style shrink) instead of
+/// evicting it. With all-zero scores — i.e. when
+/// [`crate::NvrConfig::nsb_admit_min_reuse`] is 0 and the controller
+/// sends no scores — the policy reproduces LRU bit for bit, so this
+/// configuration is a strict generalisation of [`nsb_config`].
+///
+/// # Examples
+///
+/// ```
+/// use nvr_core::nsb_scored;
+/// use nvr_mem::RetentionPolicy;
+///
+/// assert_eq!(nsb_scored(16).policy, RetentionPolicy::ScoredReuse);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `kib == 0`.
+#[must_use]
+pub fn nsb_scored(kib: u64) -> CacheConfig {
+    nsb_config(kib).with_policy(RetentionPolicy::ScoredReuse)
 }
 
 #[cfg(test)]
@@ -76,5 +103,13 @@ mod tests {
     #[should_panic(expected = "non-zero")]
     fn zero_size_panics() {
         let _ = nsb_config(0);
+    }
+
+    #[test]
+    fn scored_config_differs_only_in_policy() {
+        let lru = nsb_config(16);
+        let scored = nsb_scored(16);
+        assert_eq!(scored, lru.with_policy(RetentionPolicy::ScoredReuse));
+        scored.validate().expect("valid scored NSB geometry");
     }
 }

@@ -29,7 +29,14 @@ use nvr_mem::MemorySystem;
 #[derive(Debug, Clone)]
 pub struct Vmig {
     width: usize,
-    queue: Vec<LineAddr>,
+    /// Queued target lines with their predicted-reuse scores (0 for
+    /// unscored traffic, e.g. index stream-ahead lines).
+    queue: Vec<(LineAddr, u32)>,
+    /// DARE-style NSB admission threshold ([`crate::NvrConfig::nsb_admit_min_reuse`]):
+    /// when non-zero, a line's full predicted-reuse score earns retention
+    /// priority only once it reaches the threshold; lines below it are
+    /// carried at score 1 (their one imminent use).
+    nsb_admit: u32,
     /// Vector prefetch operations issued.
     vectors_issued: u64,
     /// Total lines carried by those vectors.
@@ -53,6 +60,7 @@ impl Vmig {
         Vmig {
             width,
             queue: Vec::new(),
+            nsb_admit: 0,
             vectors_issued: 0,
             lines_issued: 0,
             lines_filtered: 0,
@@ -62,9 +70,24 @@ impl Vmig {
 
     /// Queues one target line, deduplicating against queued lines.
     pub fn push(&mut self, line: LineAddr) {
-        if !self.queue.contains(&line) {
-            self.queue.push(line);
+        self.push_scored(line, 0);
+    }
+
+    /// Queues one target line with a predicted-reuse score. Deduplication
+    /// keeps the *maximum* score seen for the line — a line wanted by two
+    /// bundles is more reusable, not less.
+    pub fn push_scored(&mut self, line: LineAddr, score: u32) {
+        match self.queue.iter_mut().find(|(l, _)| *l == line) {
+            Some(entry) => entry.1 = entry.1.max(score),
+            None => self.queue.push((line, score)),
         }
+    }
+
+    /// Sets the retention-priority threshold applied at issue
+    /// ([`crate::NvrConfig::nsb_admit_min_reuse`]; 0 disables scoring
+    /// entirely, reverting scored levels to LRU behaviour).
+    pub fn set_nsb_admit(&mut self, admit: u32) {
+        self.nsb_admit = admit;
     }
 
     /// Accepts one PIE-resolved vector bundle: the lines of up to `width`
@@ -74,9 +97,16 @@ impl Vmig {
     /// stage then trickles lines into the memory system as the speculative
     /// MSHR file frees.
     pub fn push_bundle<I: IntoIterator<Item = LineAddr>>(&mut self, lines: I) {
+        self.push_bundle_scored(lines.into_iter().map(|l| (l, 0)));
+    }
+
+    /// [`Vmig::push_bundle`] with per-line predicted-reuse scores, as
+    /// produced by the controller's [`crate::ReusePredictor`] over the
+    /// window machinery's resolved targets.
+    pub fn push_bundle_scored<I: IntoIterator<Item = (LineAddr, u32)>>(&mut self, lines: I) {
         let before = self.queue.len();
-        for line in lines {
-            self.push(line);
+        for (line, score) in lines {
+            self.push_scored(line, score);
         }
         let added = (self.queue.len() - before) as u64;
         if added > 0 {
@@ -136,7 +166,7 @@ impl Vmig {
         let mut issued = 0;
         let mut deferred = Vec::new();
         while issued < cap && taken < self.queue.len() {
-            let line = self.queue[taken];
+            let (line, score) = self.queue[taken];
             taken += 1;
             if !fill_nsb && mem.npu_side_contains(line) {
                 self.lines_filtered += 1;
@@ -148,10 +178,30 @@ impl Vmig {
             // promotion and never touches the DRAM channel.
             if !mem.prefetch_channel_ready(line, now) && !mem.npu_side_contains(line) {
                 self.lines_deferred += 1;
-                deferred.push(line);
+                deferred.push((line, score));
                 continue;
             }
-            mem.prefetch_line(line, now, fill_nsb);
+            // DARE-style admission: with an active threshold, a line's
+            // predicted reuse earns retention priority only once it
+            // clears the threshold; below it the line carries no score.
+            // The two levels then see different floors. The NSB floor is
+            // 1 — the one imminent demand the line was resolved for — so
+            // every prefetch still fills the NSB (the paper's §IV-G
+            // behaviour; streaming workloads keep their 2-cycle hits)
+            // while demonstrated-reuse lines outrank the stream for
+            // residency. The L2 gets the unfloored score: a scored L2
+            // ranks below-threshold speculative lines level with its
+            // demand-allocated ways (score 0) instead of letting a
+            // blanket floor starve demand residency. The unscored path
+            // (admission off) keeps sending zeros, preserving LRU
+            // equivalence.
+            let (pinned, nsb_score) = if self.nsb_admit > 0 {
+                let pinned = if score >= self.nsb_admit { score } else { 0 };
+                (pinned, pinned.max(1))
+            } else {
+                (score, score)
+            };
+            mem.prefetch_line_scored(line, now, fill_nsb, pinned, nsb_score);
             issued += 1;
         }
         self.queue.splice(..taken, deferred);
@@ -292,6 +342,63 @@ mod tests {
         let later = 10 * DramConfig::default().line_transfer_cycles();
         assert_eq!(v.issue(&mut mem, later, false), 2);
         assert!(v.is_empty());
+    }
+
+    #[test]
+    fn scored_dedup_keeps_max_score() {
+        let mut v = Vmig::new(16);
+        v.push_scored(LineAddr::new(5), 1);
+        v.push_scored(LineAddr::new(5), 3);
+        v.push_scored(LineAddr::new(5), 2);
+        assert_eq!(v.pending(), 1);
+        assert_eq!(v.queue[0], (LineAddr::new(5), 3));
+    }
+
+    #[test]
+    fn admission_threshold_grants_retention_priority_not_residency() {
+        // Every prefetch still fills the NSB (§IV-G — streaming workloads
+        // keep their near-NPU hits); the threshold decides whose *score*
+        // counts for retention. A one-line scored NSB makes the ranking
+        // observable: the admitted hub holds residency and the
+        // below-threshold line — carried at score 1, its single imminent
+        // use — is rejected (shrink) and lands in the L2 only.
+        let nsb = nvr_mem::CacheConfig {
+            name: "NSB",
+            size_bytes: 64,
+            ways: 1,
+            hit_latency: 2,
+            mshr_entries: 16,
+            policy: nvr_mem::RetentionPolicy::ScoredReuse,
+        };
+        let cfg = MemoryConfig::default().with_nsb(nsb);
+        let mut mem = MemorySystem::new(cfg);
+        let mut v = Vmig::new(16);
+        v.set_nsb_admit(2);
+        v.push_scored(LineAddr::new(2), 3); // clears the threshold
+        assert_eq!(v.issue(&mut mem, 0, true), 1);
+        // Wait out the hub's fill so victim selection ranks on score.
+        let later = 1000;
+        v.push_scored(LineAddr::new(1), 0); // below threshold
+        assert_eq!(v.issue(&mut mem, later, true), 1);
+        let s = mem.stats();
+        let nsb = s.nsb.as_ref().expect("nsb");
+        assert_eq!(s.l2.prefetch_issued.get(), 2, "both lines fill the L2");
+        assert_eq!(nsb.prefetch_issued.get(), 1, "the hub holds the NSB");
+        assert_eq!(nsb.retention_rejected.get(), 1, "the cold fill shrank");
+    }
+
+    #[test]
+    fn zero_threshold_admits_everything() {
+        let cfg = MemoryConfig::default().with_nsb(crate::nsb_scored(16));
+        let mut mem = MemorySystem::new(cfg);
+        let mut v = Vmig::new(16);
+        v.push_scored(LineAddr::new(1), 0);
+        v.push_scored(LineAddr::new(2), 5);
+        assert_eq!(v.issue(&mut mem, 0, true), 2);
+        assert_eq!(
+            mem.stats().nsb.as_ref().expect("nsb").prefetch_issued.get(),
+            2
+        );
     }
 
     #[test]

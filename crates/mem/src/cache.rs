@@ -2,7 +2,7 @@
 
 use nvr_common::{Cycle, LineAddr};
 
-use crate::config::CacheConfig;
+use crate::config::{CacheConfig, RetentionPolicy};
 use crate::stats::CacheStats;
 
 /// One observed transition in a prefetched line's life, recorded by the
@@ -82,6 +82,11 @@ struct Way {
     from_prefetch: bool,
     /// Whether a demand access touched the line since its fill.
     demanded: bool,
+    /// Predicted-reuse score under [`RetentionPolicy::ScoredReuse`]: how
+    /// many more demand touches the producer expects for this line. Decays
+    /// by one per demand hit and ages on rejected fills; always 0 under
+    /// [`RetentionPolicy::Lru`].
+    reuse: u32,
 }
 
 /// A non-blocking set-associative cache level.
@@ -232,6 +237,10 @@ impl Cache {
                 let first_demand_of_prefetch = is_demand && w.from_prefetch && !w.demanded;
                 if is_demand {
                     w.demanded = true;
+                    // Each consumption spends one unit of predicted reuse, so
+                    // a line whose forecast is exhausted becomes evictable
+                    // again (no-op under LRU, where scores are always 0).
+                    w.reuse = w.reuse.saturating_sub(1);
                 }
                 if first_demand_of_prefetch {
                     if let Some(log) = &mut self.life_log {
@@ -338,7 +347,7 @@ impl Cache {
     /// The caller is responsible for having checked [`Cache::mshr_available`]
     /// for demand fills.
     pub fn install(&mut self, line: LineAddr, fill_done: Cycle, from_prefetch: bool, now: Cycle) {
-        self.install_inner(line, fill_done, from_prefetch, now, 0);
+        self.install_inner(line, fill_done, from_prefetch, now, 0, 0);
     }
 
     /// [`Cache::install`] for a speculative fill whose DRAM channel queue
@@ -352,7 +361,33 @@ impl Cache {
         now: Cycle,
         queue_delay: Cycle,
     ) {
-        self.install_inner(line, fill_done, true, now, queue_delay);
+        self.install_inner(line, fill_done, true, now, queue_delay, 0);
+    }
+
+    /// [`Cache::install_speculative`] carrying a predicted-reuse score for
+    /// [`RetentionPolicy::ScoredReuse`] victim selection. Returns whether
+    /// the fill was accepted: a scored cache *shrinks* instead of evicting
+    /// when every resident line's score is at least the incoming one, and
+    /// the rejected fill never becomes resident (counted in
+    /// `retention_rejected`). Always accepted under [`RetentionPolicy::Lru`].
+    pub fn install_speculative_scored(
+        &mut self,
+        line: LineAddr,
+        fill_done: Cycle,
+        now: Cycle,
+        queue_delay: Cycle,
+        reuse: u32,
+    ) -> bool {
+        self.install_inner(line, fill_done, true, now, queue_delay, reuse)
+    }
+
+    /// Records an outstanding demand fill, recycling a completed slot.
+    fn note_inflight(&mut self, fill_done: Cycle, now: Cycle) {
+        if let Some(slot) = self.inflight.iter_mut().find(|c| **c <= now) {
+            *slot = fill_done;
+        } else {
+            self.inflight.push(fill_done);
+        }
     }
 
     fn install_inner(
@@ -362,23 +397,50 @@ impl Cache {
         from_prefetch: bool,
         now: Cycle,
         queue_delay: Cycle,
-    ) {
-        // Record the outstanding fill, recycling a completed slot if any.
-        if !from_prefetch {
-            if let Some(slot) = self.inflight.iter_mut().find(|c| **c <= now) {
-                *slot = fill_done;
-            } else {
-                self.inflight.push(fill_done);
-            }
-        }
-
+        reuse: u32,
+    ) -> bool {
         let set = self.set_index(line);
         let tag = self.tag(line);
         if let Some(w) = self.sets[set].iter_mut().find(|w| w.valid && w.tag == tag) {
             // Refill of a resident line (e.g. prefetch after demand raced in).
             w.fill_done = w.fill_done.min(fill_done);
             w.last_use = now;
-            return;
+            w.reuse = w.reuse.max(reuse);
+            if !from_prefetch {
+                self.note_inflight(fill_done, now);
+            }
+            return true;
+        }
+
+        // Victim selection happens *before* any bookkeeping so a rejected
+        // scored fill leaves the cache (MSHRs, lifetime log, stats other
+        // than the rejection counter) untouched.
+        let victim = match self.cfg.policy {
+            RetentionPolicy::Lru => self.pick_victim(set, now),
+            RetentionPolicy::ScoredReuse => match self.pick_victim_scored(set, now, reuse, true) {
+                Ok(i) => i,
+                Err(shrink) => {
+                    self.stats.retention_rejected.inc();
+                    // Age the weakest resident so a stream of rejections
+                    // deterministically drains a stale hot set.
+                    let w = &mut self.sets[set][shrink];
+                    w.reuse = w.reuse.saturating_sub(1);
+                    return false;
+                }
+            },
+            // Always admit; the shrink arm's "weakest resident" becomes
+            // the victim instead of a rejection. No active-window
+            // protection here: with rejection off the table, sparing
+            // un-demanded speculative lines would only displace the
+            // eviction onto demanded-hot residents — worse than letting
+            // score order decide.
+            RetentionPolicy::ScoredEvict => match self.pick_victim_scored(set, now, reuse, false) {
+                Ok(i) | Err(i) => i,
+            },
+        };
+
+        if !from_prefetch {
+            self.note_inflight(fill_done, now);
         }
         if from_prefetch {
             if let Some(log) = &mut self.life_log {
@@ -390,8 +452,6 @@ impl Cache {
                 });
             }
         }
-
-        let victim = self.pick_victim(set, now);
         let evicted_unused_line = {
             let w = &self.sets[set][victim];
             (w.valid && w.from_prefetch && !w.demanded).then(|| self.line_of(set, w.tag))
@@ -418,7 +478,9 @@ impl Cache {
             last_use: now,
             from_prefetch,
             demanded: false,
+            reuse,
         };
+        true
     }
 
     /// LRU victim, preferring ways whose fill already completed so that
@@ -443,6 +505,87 @@ impl Cache {
             .map(|(i, _)| i)
             // nvr-lint: allow(panic/hot-loop) reason="CacheConfig::validate rejects ways == 0, so min_by_key over a set's ways is total"
             .expect("ways is non-empty")
+    }
+
+    /// Victim selection under [`RetentionPolicy::ScoredReuse`] — the
+    /// buffets-style explicitly-managed fill/shrink decision:
+    ///
+    /// 1. an invalid way is always filled;
+    /// 2. a filled way whose score is exhausted (`reuse == 0`) is evicted
+    ///    LRU-first — identical to what [`RetentionPolicy::Lru`] would do,
+    ///    which is why all-zero scores reproduce LRU bit for bit;
+    /// 3. otherwise the weakest *evictable* resident (min score, LRU
+    ///    tie-break) is evicted only if the incoming score strictly beats
+    ///    it — else the fill is rejected (`Err` carries the weakest way so
+    ///    the caller can age it). With `protect_active` (the shrink-capable
+    ///    NSB), a speculative line that has not yet seen its demand and
+    ///    still carries score is an **active-window line** — the runahead
+    ///    thread only resolves targets inside the lookahead horizon, so its
+    ///    demand is imminent — and never competes for eviction; letting a
+    ///    freshly pinned hub clobber it converts a timely prefetch into a
+    ///    demand miss. When every filled way is such a line the fill is
+    ///    rejected and the weakest ages, so a set full of mispredicted
+    ///    "imminent" lines drains deterministically.
+    ///
+    /// The all-mid-fill pathological case falls back to [`Cache::pick_victim`]'s
+    /// plain-LRU behaviour.
+    fn pick_victim_scored(
+        &self,
+        set: usize,
+        now: Cycle,
+        incoming: u32,
+        protect_active: bool,
+    ) -> Result<usize, usize> {
+        let ways = &self.sets[set];
+        if let Some((i, _)) = ways.iter().enumerate().find(|(_, w)| !w.valid) {
+            return Ok(i);
+        }
+        if let Some((i, _)) = ways
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| w.fill_done <= now && w.reuse == 0)
+            .min_by_key(|(_, w)| w.last_use)
+        {
+            return Ok(i);
+        }
+        let active_window = |w: &Way| protect_active && w.from_prefetch && !w.demanded;
+        match ways
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| w.fill_done <= now && !active_window(w))
+            .min_by_key(|(_, w)| (w.reuse, w.last_use))
+        {
+            Some((i, w)) if incoming > w.reuse => Ok(i),
+            Some((i, _)) => Err(i),
+            None => match ways
+                .iter()
+                .enumerate()
+                .filter(|(_, w)| w.fill_done <= now)
+                .min_by_key(|(_, w)| (w.reuse, w.last_use))
+            {
+                Some((i, _)) => Err(i),
+                None => Ok(self.pick_victim(set, now)),
+            },
+        }
+    }
+
+    /// Raises a resident `line`'s predicted-reuse score to at least
+    /// `reuse` — how a *redundant* scored prefetch keeps a hot line
+    /// pinned: later runahead windows re-observe the line with a larger
+    /// remaining-touch forecast, and without the refresh the score would
+    /// only ever decay (one per demand hit) until the line became
+    /// evictable mid-stream. A no-op under [`RetentionPolicy::Lru`]
+    /// (scores must stay 0 for the LRU-equivalence invariant) and for
+    /// absent or mid-fill-refilled lines.
+    pub fn refresh_reuse(&mut self, line: LineAddr, reuse: u32) {
+        if self.cfg.policy == RetentionPolicy::Lru {
+            return;
+        }
+        let set = self.set_index(line);
+        let tag = self.tag(line);
+        if let Some(w) = self.sets[set].iter_mut().find(|w| w.valid && w.tag == tag) {
+            w.reuse = w.reuse.max(reuse);
+        }
     }
 
     /// Counts resident prefetched-but-never-demanded lines into the stats.
@@ -487,6 +630,18 @@ mod tests {
             ways,
             hit_latency: 4,
             mshr_entries: 2,
+            policy: RetentionPolicy::Lru,
+        })
+    }
+
+    fn tiny_scored(ways: u64, sets: u64) -> Cache {
+        Cache::new(CacheConfig {
+            name: "T",
+            size_bytes: ways * sets * 64,
+            ways,
+            hit_latency: 4,
+            mshr_entries: 2,
+            policy: RetentionPolicy::ScoredReuse,
         })
     }
 
@@ -619,6 +774,110 @@ mod tests {
             assert!(c.contains(LineAddr::new(i)));
         }
         assert_eq!(c.stats().evictions.get(), 0);
+    }
+
+    #[test]
+    fn scored_rejects_fill_that_does_not_beat_residents() {
+        let mut c = tiny_scored(1, 1);
+        let hot = LineAddr::new(1);
+        assert!(c.install_speculative_scored(hot, 0, 0, 0, 3));
+        // Equal score does not displace the resident: reject + shrink.
+        assert!(!c.install_speculative_scored(LineAddr::new(2), 0, 1, 0, 3));
+        assert!(c.contains(hot));
+        assert!(!c.contains(LineAddr::new(2)));
+        assert_eq!(c.stats().retention_rejected.get(), 1);
+        // The rejected fill never entered the lifetime accounting.
+        assert_eq!(c.stats().evictions.get(), 0);
+    }
+
+    #[test]
+    fn scored_evicts_strictly_weaker_resident() {
+        let mut c = tiny_scored(1, 1);
+        c.install_speculative_scored(LineAddr::new(1), 0, 0, 0, 2);
+        // Spend the resident's active-window protection: once demanded it
+        // competes on score alone (2 -> 1 after the hit).
+        c.probe(LineAddr::new(1), 5, true);
+        assert!(c.install_speculative_scored(LineAddr::new(2), 0, 6, 0, 5));
+        assert!(!c.contains(LineAddr::new(1)));
+        assert!(c.contains(LineAddr::new(2)));
+        assert_eq!(c.stats().retention_rejected.get(), 0);
+    }
+
+    #[test]
+    fn scored_never_evicts_undemanded_speculative_resident() {
+        // An active-window line — speculative, not yet demanded, score
+        // remaining — is rejected against rather than evicted, no matter
+        // how strong the incoming fill is.
+        let mut c = tiny_scored(1, 1);
+        c.install_speculative_scored(LineAddr::new(1), 0, 0, 0, 1);
+        assert!(!c.install_speculative_scored(LineAddr::new(2), 0, 1, 0, 100));
+        assert!(c.contains(LineAddr::new(1)));
+        assert_eq!(c.stats().retention_rejected.get(), 1);
+    }
+
+    #[test]
+    fn rejections_age_the_weakest_resident_until_it_drains() {
+        let mut c = tiny_scored(1, 1);
+        c.install_speculative_scored(LineAddr::new(1), 0, 0, 0, 2);
+        let probe = LineAddr::new(2);
+        // Two rejections age the resident 2 -> 1 -> 0; the third fill then
+        // takes the exhausted-score LRU path and lands.
+        assert!(!c.install_speculative_scored(probe, 0, 1, 0, 0));
+        assert!(!c.install_speculative_scored(probe, 0, 2, 0, 0));
+        assert!(c.install_speculative_scored(probe, 0, 3, 0, 0));
+        assert!(c.contains(probe));
+        assert_eq!(c.stats().retention_rejected.get(), 2);
+    }
+
+    #[test]
+    fn demand_hits_decay_the_score() {
+        let mut c = tiny_scored(1, 1);
+        c.install_speculative_scored(LineAddr::new(1), 0, 0, 0, 2);
+        // Each demand touch spends one predicted use.
+        c.probe(LineAddr::new(1), 5, true);
+        c.probe(LineAddr::new(1), 6, true);
+        // Score exhausted: a zero-score fill now evicts it LRU-style.
+        assert!(c.install_speculative_scored(LineAddr::new(2), 0, 7, 0, 0));
+        assert!(c.contains(LineAddr::new(2)));
+        assert_eq!(c.stats().retention_rejected.get(), 0);
+    }
+
+    #[test]
+    fn scored_with_zero_scores_matches_lru_bit_for_bit() {
+        // Same operation sequence against both policies; with all scores
+        // zero the scored cache must reproduce LRU exactly.
+        let mut lru = tiny_cache(2, 1);
+        let mut scored = tiny_scored(2, 1);
+        for c in [&mut lru, &mut scored] {
+            c.install(LineAddr::new(1), 0, false, 0);
+            c.install(LineAddr::new(2), 5, true, 1);
+            c.probe(LineAddr::new(1), 10, true);
+            c.install(LineAddr::new(3), 20, false, 11); // evicts 2
+            c.probe(LineAddr::new(2), 30, true); // miss
+            c.finalize_stats();
+        }
+        for line in [1u64, 2, 3] {
+            assert_eq!(
+                lru.contains(LineAddr::new(line)),
+                scored.contains(LineAddr::new(line))
+            );
+        }
+        let (mut a, mut b) = (lru.stats().clone(), scored.stats().clone());
+        a.name = "X";
+        b.name = "X";
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn scored_never_clobbers_midfill_line_when_filled_victim_exists() {
+        let mut c = tiny_scored(2, 1);
+        c.install_speculative_scored(LineAddr::new(1), 100, 0, 0, 4); // mid-fill until 100
+        c.install_speculative_scored(LineAddr::new(2), 0, 1, 0, 0); // filled, score 0
+                                                                    // Incoming fill must pick the exhausted filled way, not the
+                                                                    // high-score in-flight one.
+        assert!(c.install_speculative_scored(LineAddr::new(3), 0, 10, 0, 1));
+        assert!(c.contains(LineAddr::new(1)));
+        assert!(!c.contains(LineAddr::new(2)));
     }
 
     #[test]

@@ -1,9 +1,50 @@
 //! Configuration for the memory hierarchy.
 
+use std::fmt;
+
 use nvr_common::{Cycle, NvrError, LINE_BYTES};
 
 /// One kibibyte, for readable capacity arithmetic.
 pub const KIB: u64 = 1024;
+
+/// Residency policy of one cache level — how fills pick victims and
+/// whether a fill may be refused outright.
+///
+/// [`RetentionPolicy::Lru`] is the classic always-admit LRU every level
+/// defaults to. [`RetentionPolicy::ScoredReuse`] turns the level into a
+/// buffets-style *explicitly managed* fill/shrink buffer: each fill
+/// carries a predicted-reuse score (0 = no prediction), victims are drawn
+/// from score-exhausted lines first, and a fill that would have to evict a
+/// line with more predicted reuse than its own is *rejected* (the buffer
+/// shrinks its intake rather than thrash its hot set).
+/// [`RetentionPolicy::ScoredEvict`] keeps the score-weighted victim
+/// ranking but always admits — the right semantics for a level with no
+/// on-chip backing store (the L2), where a rejected fill would resurface
+/// as a full-latency demand miss instead of landing one level down.
+/// With every score at zero all three policies coincide bit-for-bit,
+/// which is the contract the retention property tests pin down.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RetentionPolicy {
+    /// Always-admit least-recently-used victim selection.
+    #[default]
+    Lru,
+    /// Explicitly managed fill/shrink keyed on per-line predicted-reuse
+    /// scores (the NSB retention policy of the DARE-style admission path).
+    ScoredReuse,
+    /// Score-weighted eviction (weakest predicted reuse goes first, LRU
+    /// tie-break) with unconditional admission — no shrink path.
+    ScoredEvict,
+}
+
+impl fmt::Display for RetentionPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            RetentionPolicy::Lru => "lru",
+            RetentionPolicy::ScoredReuse => "scored",
+            RetentionPolicy::ScoredEvict => "scored-evict",
+        })
+    }
+}
 
 /// Geometry and timing of one cache level.
 ///
@@ -29,6 +70,11 @@ pub struct CacheConfig {
     pub hit_latency: Cycle,
     /// Number of miss-status holding registers (outstanding fills).
     pub mshr_entries: usize,
+    /// Victim-selection / admission policy of this level. Defaults to
+    /// [`RetentionPolicy::Lru`]; the NVR+NSB system switches its NSB to
+    /// [`RetentionPolicy::ScoredReuse`] so speculative fills compete on
+    /// predicted reuse instead of recency.
+    pub policy: RetentionPolicy,
 }
 
 impl CacheConfig {
@@ -41,6 +87,7 @@ impl CacheConfig {
             ways: 8,
             hit_latency: 20,
             mshr_entries: 64,
+            policy: RetentionPolicy::Lru,
         }
     }
 
@@ -54,6 +101,7 @@ impl CacheConfig {
             ways: 16,
             hit_latency: 2,
             mshr_entries: 16,
+            policy: RetentionPolicy::Lru,
         }
     }
 
@@ -68,6 +116,13 @@ impl CacheConfig {
     #[must_use]
     pub fn with_ways(mut self, ways: u64) -> Self {
         self.ways = ways;
+        self
+    }
+
+    /// Same configuration under a different retention policy.
+    #[must_use]
+    pub fn with_policy(mut self, policy: RetentionPolicy) -> Self {
+        self.policy = policy;
         self
     }
 

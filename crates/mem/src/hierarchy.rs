@@ -236,21 +236,49 @@ impl MemorySystem {
     /// configuration of §IV-G) the line is additionally installed in the
     /// NSB so actual loads complete at NSB latency.
     pub fn prefetch_line(&mut self, line: LineAddr, now: Cycle, fill_nsb: bool) -> PrefetchOutcome {
+        self.prefetch_line_scored(line, now, fill_nsb, 0, 0)
+    }
+
+    /// [`MemorySystem::prefetch_line`] carrying per-level predicted-reuse
+    /// scores for scored victim selection at whichever levels run it. The
+    /// levels see *different* scores because their stakes differ: the
+    /// NSB-side install competes on `nsb_reuse` and may be rejected
+    /// (shrink) instead of evicting a hotter resident — its caller floors
+    /// below-threshold lines at 1 so the stream still fills the buffer —
+    /// while the L2 receives the unfloored `reuse`, keeping
+    /// below-threshold speculative lines rank-equal with demand-allocated
+    /// ways (score 0) instead of letting a blanket floor crowd every
+    /// demand line out of a [`crate::RetentionPolicy::ScoredEvict`] L2. A
+    /// redundant prefetch *refreshes* the resident copy's decayed score
+    /// so lines every runahead window keeps re-observing stay pinned
+    /// across the run.
+    pub fn prefetch_line_scored(
+        &mut self,
+        line: LineAddr,
+        now: Cycle,
+        fill_nsb: bool,
+        reuse: u32,
+        nsb_reuse: u32,
+    ) -> PrefetchOutcome {
         if self.ideal {
             return PrefetchOutcome::Redundant;
         }
         let l2_has = self.l2.contains(line);
         if l2_has {
             self.l2.note_prefetch_redundant();
+            self.l2.refresh_reuse(line, reuse);
             // The data is (or will be) on-chip; optionally pull it into the
             // NSB so the NPU-side latency drops too.
             if fill_nsb {
                 if let Some(nsb) = &mut self.nsb {
-                    if !nsb.contains(line) && nsb.mshr_available(now) {
+                    if nsb.contains(line) {
+                        nsb.refresh_reuse(line, nsb_reuse);
+                    } else if nsb.mshr_available(now) {
                         if let Some(ready) = self.l2.ready_time(line, now) {
-                            nsb.install(line, ready, true, now);
-                            nsb.note_prefetch_issued();
-                            return PrefetchOutcome::Issued { fill_done: ready };
+                            if nsb.install_speculative_scored(line, ready, now, 0, nsb_reuse) {
+                                nsb.note_prefetch_issued();
+                                return PrefetchOutcome::Issued { fill_done: ready };
+                            }
                         }
                     }
                 }
@@ -275,13 +303,18 @@ impl MemorySystem {
             }
         };
         self.track_prefetch(fill_done, now);
+        // A scored L2 may shrink (reject the fill) to keep a hotter
+        // resident; the DRAM fetch is already in flight either way, so
+        // the issue is counted against the level regardless and the
+        // rejection shows up in `retention_rejected`.
         self.l2
-            .install_speculative(line, fill_done, now, queue_delay);
+            .install_speculative_scored(line, fill_done, now, queue_delay, reuse);
         self.l2.note_prefetch_issued();
         if fill_nsb {
             if let Some(nsb) = &mut self.nsb {
-                if nsb.mshr_available(now) {
-                    nsb.install(line, fill_done, true, now);
+                if nsb.mshr_available(now)
+                    && nsb.install_speculative_scored(line, fill_done, now, 0, nsb_reuse)
+                {
                     nsb.note_prefetch_issued();
                 }
             }

@@ -40,7 +40,7 @@ pub mod scratchpad;
 pub mod stats;
 
 pub use cache::{Cache, PrefetchLifeEvent, ProbeResult};
-pub use config::{CacheConfig, DramConfig, MemoryConfig};
+pub use config::{CacheConfig, DramConfig, MemoryConfig, RetentionPolicy};
 pub use dram::{ChannelPrefetch, DramBackend};
 pub use hierarchy::{AccessOutcome, AccessResult, MemorySystem, PrefetchOutcome};
 pub use scratchpad::Scratchpad;

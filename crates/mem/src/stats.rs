@@ -39,6 +39,10 @@ pub struct CacheStats {
     pub prefetch_evicted_unused: Counter,
     /// Prefetched lines still resident and undemanded at finalisation.
     pub prefetch_resident_unused: Counter,
+    /// Scored fills rejected by the `ScoredReuse` retention policy because
+    /// no resident line's predicted-reuse score was strictly lower (the
+    /// buffets-style *shrink* outcome; always 0 under LRU).
+    pub retention_rejected: Counter,
 }
 
 impl CacheStats {

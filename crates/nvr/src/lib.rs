@@ -56,7 +56,9 @@ pub mod prelude {
         SweepResults, SweepSpec, SystemKind,
     };
     pub use nvr_trace::{MemoryImage, NpuProgram, SnoopState, SparseFunc, TileOp};
-    pub use nvr_workloads::{PointcloudParams, Scale, VoxelOrder, WorkloadId, WorkloadSpec};
+    pub use nvr_workloads::{
+        PointcloudParams, Scale, TileOrder, VoxelOrder, WorkloadId, WorkloadSpec,
+    };
 }
 
 #[cfg(test)]

@@ -5,7 +5,7 @@
 use nvr_common::DataWidth;
 use nvr_mem::MemoryConfig;
 use nvr_sim::{coverage, run_system, SystemKind};
-use nvr_workloads::{Scale, WorkloadId, WorkloadSpec};
+use nvr_workloads::{Scale, TileOrder, WorkloadId, WorkloadSpec};
 
 fn main() {
     let cfg = MemoryConfig::default();
@@ -18,6 +18,7 @@ fn main() {
             width: DataWidth::Fp16,
             seed: 9,
             scale: Scale::Tiny,
+            order: TileOrder::Natural,
         };
         let p = w.build(&spec);
         let ino = run_system(&p, &cfg, SystemKind::InOrder);

@@ -12,8 +12,9 @@
 //!   cargo run --release -p nvr_sim --bin sweep -- --figure fig5 --figure headline
 //!   ```
 //!
-//! * **grid** (`--grid`): a raw workloads x systems x scales x widths x
-//!   seeds cartesian sweep with repeatable axis filters and CSV output:
+//! * **grid** (`--grid`): a raw workloads x systems x scales x orders x
+//!   widths x seeds cartesian sweep with repeatable axis filters and CSV
+//!   output:
 //!
 //!   ```sh
 //!   cargo run --release -p nvr_sim --bin sweep -- --grid --workload DS --system NVR \
@@ -28,7 +29,7 @@ use nvr_common::DataWidth;
 use nvr_sim::figures::FigureId;
 use nvr_sim::sweep::{pool, run_sweep, SweepSpec, DEFAULT_SEED};
 use nvr_sim::SystemKind;
-use nvr_workloads::{Scale, WorkloadId};
+use nvr_workloads::{Scale, TileOrder, WorkloadId};
 
 const USAGE: &str = "\
 sweep — regenerate the paper's evaluation in parallel
@@ -38,7 +39,8 @@ USAGE (figures mode, default):
 
 USAGE (grid mode):
   sweep --grid [--jobs N] [--workload W]... [--system S]... [--scale SCALE]...
-        [--width X]... [--seed S]... [--channels N] [--csv PATH|-] [--timings PATH]
+        [--order O]... [--width X]... [--seed S]... [--nsb-admit T] [--channels N]
+        [--csv PATH|-] [--timings PATH]
 
 OPTIONS:
   --jobs N        worker threads (default: available parallelism)
@@ -46,10 +48,13 @@ OPTIONS:
   --workload W    DS|GAT|GCN|GSABT|H2O|MK|SCN|ST (repeatable; grid mode)
   --system S      InO|OoO|Stream|IMP|DVR|NVR|NVR+NSB (repeatable; grid mode)
   --scale SCALE   tiny|default|large (repeatable in grid mode)
+  --order O       natural|degree|clustered tile order (repeatable; grid mode)
   --width X       int8|fp16|int32 (repeatable; grid mode)
   --seed S        u64 seed (repeatable in grid mode)
+  --nsb-admit T   NSB admission threshold override for NVR systems (0 = LRU NSB; grid mode)
   --channels N    DRAM channel count of the grid's memory system (grid mode)
-  --csv PATH      grid mode: write the deterministic result CSV (`-` = stdout)
+  --csv PATH      grid mode: write the deterministic result CSV (`-` = stdout);
+                  figures mode with fig9: write the retention-policy study CSV
   --timings PATH  write wall-clock CSV (figures: per figure; grid: per cell)
   --help          this text
 
@@ -62,8 +67,10 @@ struct Args {
     workloads: Vec<WorkloadId>,
     systems: Vec<SystemKind>,
     scales: Vec<Scale>,
+    orders: Vec<TileOrder>,
     widths: Vec<DataWidth>,
     seeds: Vec<u64>,
+    nsb_admit: Option<u32>,
     channels: Option<usize>,
     csv: Option<String>,
     timings: Option<String>,
@@ -77,8 +84,10 @@ fn parse_args() -> Result<Args, String> {
         workloads: Vec::new(),
         systems: Vec::new(),
         scales: Vec::new(),
+        orders: Vec::new(),
         widths: Vec::new(),
         seeds: Vec::new(),
+        nsb_admit: None,
         channels: None,
         csv: None,
         timings: None,
@@ -114,6 +123,9 @@ fn parse_args() -> Result<Args, String> {
             "--scale" => args
                 .scales
                 .push(value("--scale")?.parse().map_err(|e| format!("{e}"))?),
+            "--order" => args
+                .orders
+                .push(value("--order")?.parse().map_err(|e| format!("{e}"))?),
             "--width" => args
                 .widths
                 .push(value("--width")?.parse().map_err(|e| format!("{e}"))?),
@@ -122,6 +134,13 @@ fn parse_args() -> Result<Args, String> {
                     value("--seed")?
                         .parse()
                         .map_err(|e| format!("--seed: {e}"))?,
+                );
+            }
+            "--nsb-admit" => {
+                args.nsb_admit = Some(
+                    value("--nsb-admit")?
+                        .parse()
+                        .map_err(|e| format!("--nsb-admit: {e}"))?,
                 );
             }
             "--channels" => {
@@ -147,12 +166,24 @@ fn parse_args() -> Result<Args, String> {
             return Err("--figure only applies to figures mode (drop --grid)".into());
         }
     } else {
-        if !args.workloads.is_empty() || !args.systems.is_empty() || !args.widths.is_empty() {
-            return Err("--workload/--system/--width only apply to grid mode (add --grid)".into());
-        }
-        if args.csv.is_some() {
+        if !args.workloads.is_empty()
+            || !args.systems.is_empty()
+            || !args.widths.is_empty()
+            || !args.orders.is_empty()
+        {
             return Err(
-                "--csv only applies to grid mode (figures mode writes --timings instead)".into(),
+                "--workload/--system/--width/--order only apply to grid mode (add --grid)".into(),
+            );
+        }
+        if args.nsb_admit.is_some() {
+            return Err("--nsb-admit only applies to grid mode (add --grid)".into());
+        }
+        if args.csv.is_some()
+            && !(args.figures.contains(&FigureId::Fig9) || args.figures.is_empty())
+        {
+            return Err(
+                "--csv in figures mode writes the fig9 policy-study CSV; include --figure fig9"
+                    .into(),
             );
         }
         if args.channels.is_some() {
@@ -209,6 +240,17 @@ fn run_figures(args: &Args) -> Result<(), String> {
     if let Some(path) = &args.timings {
         write_file(path, &timing_csv)?;
     }
+    if let Some(path) = &args.csv {
+        // The fig9 retention-policy study as a deterministic CSV (the CI
+        // artifact). Recomputed from the same (scale, seed), so the file
+        // matches the rendition printed above for any --jobs.
+        let cells = nvr_sim::figures::fig9::policy_sweep_jobs(scale, seed, args.jobs);
+        let csv = nvr_sim::figures::fig9::policy_csv(&cells);
+        match path.as_str() {
+            "-" => print!("{csv}"),
+            _ => write_file(path, &csv)?,
+        }
+    }
     Ok(())
 }
 
@@ -229,8 +271,10 @@ fn run_grid(args: &Args) -> Result<(), String> {
         workloads: pick(&args.workloads, defaults.workloads),
         systems: pick(&args.systems, defaults.systems),
         scales: pick(&args.scales, defaults.scales),
+        orders: pick(&args.orders, defaults.orders),
         widths: pick(&args.widths, defaults.widths),
         seeds: pick(&args.seeds, defaults.seeds),
+        nsb_admit: args.nsb_admit,
         mem_cfg,
     };
     let results = run_sweep(&spec, args.jobs);

@@ -9,7 +9,7 @@ use std::fmt;
 
 use nvr_mem::MemoryConfig;
 use nvr_workloads::double_sparsity;
-use nvr_workloads::{Scale, WorkloadSpec};
+use nvr_workloads::{Scale, TileOrder, WorkloadSpec};
 
 use crate::report::{fmt3, Table};
 use crate::runner::{run_system, SystemKind};
@@ -59,6 +59,7 @@ pub fn run_jobs(scale: Scale, seed: u64, jobs: usize) -> Fig1b {
                     width: nvr_common::DataWidth::Fp16,
                     seed,
                     scale,
+                    order: TileOrder::Natural,
                 };
                 let program = double_sparsity::build_with_ratio(&spec, ratio);
                 run_system(&program, &MemoryConfig::default(), SystemKind::InOrder)

@@ -10,7 +10,7 @@ use std::fmt;
 use nvr_common::DataWidth;
 use nvr_core::nsb_config;
 use nvr_mem::MemoryConfig;
-use nvr_workloads::{Scale, WorkloadId};
+use nvr_workloads::{Scale, TileOrder, WorkloadId};
 
 use crate::report::{fmt3, Table};
 use crate::runner::SystemKind;
@@ -124,14 +124,21 @@ fn run_panel(
     };
     for w in WorkloadId::ALL {
         let denom = denom_sweep
-            .get(w, SystemKind::InOrder, scale, width, seed)
+            .get(
+                w,
+                SystemKind::InOrder,
+                scale,
+                TileOrder::Natural,
+                width,
+                seed,
+            )
             .expect("InO baseline in sweep")
             .outcome
             .result
             .total_cycles;
         for system in SystemKind::ALL {
             let o = &panel
-                .get(w, system, scale, width, seed)
+                .get(w, system, scale, TileOrder::Natural, width, seed)
                 .expect("sweep covers the full grid")
                 .outcome;
             bars.push(Bar {

@@ -8,7 +8,7 @@
 use std::fmt;
 
 use nvr_common::DataWidth;
-use nvr_workloads::{Scale, WorkloadId};
+use nvr_workloads::{Scale, TileOrder, WorkloadId};
 
 use crate::metrics::{coverage, pollution};
 use crate::report::{fmt3, Table};
@@ -179,7 +179,14 @@ pub fn run_jobs_with_workloads(
     let mut cells = Vec::new();
     for &w in workloads {
         let base_misses = grid
-            .get(w, SystemKind::InOrder, scale, width, seed)
+            .get(
+                w,
+                SystemKind::InOrder,
+                scale,
+                TileOrder::Natural,
+                width,
+                seed,
+            )
             .expect("InO baseline in sweep")
             .outcome
             .result
@@ -189,7 +196,7 @@ pub fn run_jobs_with_workloads(
             .get();
         for system in SystemKind::PREFETCHERS {
             let o = &grid
-                .get(w, system, scale, width, seed)
+                .get(w, system, scale, TileOrder::Natural, width, seed)
                 .expect("sweep covers the full grid")
                 .outcome;
             let misses = o.result.mem.l2.demand_misses.get();
@@ -228,7 +235,14 @@ pub fn run_jobs_with_workloads(
     let mut movement = Vec::new();
     for system in [SystemKind::InOrder, SystemKind::Nvr, SystemKind::NvrNsb] {
         let o = &plain
-            .get(WorkloadId::Ds, system, scale, width, seed)
+            .get(
+                WorkloadId::Ds,
+                system,
+                scale,
+                TileOrder::Natural,
+                width,
+                seed,
+            )
             .expect("cell present")
             .outcome;
         let nsb_hits = o.result.mem.nsb.as_ref().map_or(0, |s| s.demand_hits.get());

@@ -23,7 +23,7 @@ use nvr_core::{nsb_config, NvrConfig, NvrPrefetcher};
 use nvr_mem::{MemoryConfig, MemorySystem};
 use nvr_npu::{NpuConfig, NpuEngine};
 use nvr_prefetch::{NullPrefetcher, Prefetcher, TimelinessReport};
-use nvr_workloads::{Scale, WorkloadId, WorkloadSpec};
+use nvr_workloads::{Scale, TileOrder, WorkloadId, WorkloadSpec};
 
 use crate::report::{fmt3, Table};
 use crate::sweep::run_batch;
@@ -110,6 +110,7 @@ pub fn run_jobs_with_workloads(
                 width: DataWidth::Fp16,
                 seed,
                 scale,
+                order: TileOrder::Natural,
             };
             let program = w.build(&spec);
             let engine = NpuEngine::new(NpuConfig::default());

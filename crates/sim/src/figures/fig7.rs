@@ -10,7 +10,7 @@ use std::fmt;
 use nvr_common::{DataWidth, LINE_BYTES};
 use nvr_core::nsb_config;
 use nvr_mem::MemoryConfig;
-use nvr_workloads::{Scale, WorkloadId};
+use nvr_workloads::{Scale, TileOrder, WorkloadId};
 
 use crate::report::{fmt3, Table};
 use crate::runner::SystemKind;
@@ -76,7 +76,7 @@ fn collect(
     };
     for w in WorkloadId::ALL {
         let o = &results
-            .get(w, system, scale, DataWidth::Fp16, seed)
+            .get(w, system, scale, TileOrder::Natural, DataWidth::Fp16, seed)
             .expect("sweep covers the full grid")
             .outcome;
         let m = &o.result.mem;

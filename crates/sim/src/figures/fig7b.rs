@@ -17,7 +17,7 @@ use std::fmt;
 
 use nvr_common::DataWidth;
 use nvr_mem::{DramConfig, MemoryConfig};
-use nvr_workloads::{Scale, WorkloadId};
+use nvr_workloads::{Scale, TileOrder, WorkloadId};
 
 use crate::metrics::geometric_mean;
 use crate::report::{fmt3, Table};
@@ -106,13 +106,14 @@ pub fn run_jobs_with_workloads(
                     dram: DramConfig::default().with_channels(channels),
                     ..MemoryConfig::default()
                 },
+                ..SweepSpec::default()
             },
             jobs,
         );
         for &w in workloads {
             for system in SYSTEMS {
                 let cell = results
-                    .get(w, system, scale, width, seed)
+                    .get(w, system, scale, TileOrder::Natural, width, seed)
                     .expect("sweep covers the full grid");
                 let o = &cell.outcome;
                 let util = o.channel_utilisation();

@@ -1,4 +1,5 @@
-//! Fig. 9 — NSB vs L2 sizing sensitivity.
+//! Fig. 9 — NSB vs L2 sizing sensitivity, plus the NSB retention-policy
+//! study.
 //!
 //! Sweeps NSB capacity {4..32 KB} against L2 capacity {64..1024 KB} under
 //! NVR+NSB on the reuse-heavy H2O workload (whose heavy-hitter set is in
@@ -7,18 +8,25 @@
 //! paper's own metric definition ("the product of NSB and L2 Cache
 //! dimensions") is not numerically recoverable from its garbled Fig. 9
 //! cells; EXPERIMENTS.md records the deviation.
+//!
+//! The retention-policy companion study sweeps the *policy* axis the
+//! sizing grid holds fixed: NSB capacity x {pure-LRU, scored fill/shrink}
+//! x admission threshold on GCN under the clustered tile order — the
+//! workload and schedule whose hub reuse the scored policy exists to
+//! capture. Exported as a CSV (`sweep --figure fig9 --csv`) so CI can
+//! archive the full surface.
 
 use std::fmt;
 
 use nvr_common::{DataWidth, LINE_BYTES};
-use nvr_core::{nsb_config, NvrConfig, NvrPrefetcher};
-use nvr_mem::{CacheConfig, MemoryConfig, MemorySystem};
+use nvr_core::{nsb_config, nsb_scored, NvrConfig, NvrPrefetcher};
+use nvr_mem::{CacheConfig, MemoryConfig, MemorySystem, RetentionPolicy};
 use nvr_npu::{NpuConfig, NpuEngine};
 use nvr_workloads::minkowski::{self, PointcloudParams, VoxelOrder};
-use nvr_workloads::{Scale, WorkloadId, WorkloadSpec};
+use nvr_workloads::{Scale, TileOrder, WorkloadId, WorkloadSpec};
 
 use crate::report::{fmt3, Table};
-use crate::runner::{run_system, SystemKind};
+use crate::runner::{run_system, run_system_tuned, SystemKind};
 use crate::sweep::run_batch;
 
 /// One cell of the sensitivity grid.
@@ -48,6 +56,23 @@ pub struct DensityCell {
     pub speedup: f64,
 }
 
+/// One cell of the NSB retention-policy study: GCN (clustered tile
+/// order) under NVR+NSB with one (capacity, policy, admission) point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PolicyCell {
+    /// NSB capacity in KB.
+    pub nsb_kb: u64,
+    /// Retention policy label (`lru` or `scored`).
+    pub policy: &'static str,
+    /// Admission threshold ([`NvrConfig::nsb_admit_min_reuse`]); always 0
+    /// for the `lru` rows.
+    pub admit: u32,
+    /// Total cycles of the NVR+NSB run.
+    pub cycles: u64,
+    /// Speedup over the in-order no-prefetch run of the same tile order.
+    pub speedup: f64,
+}
+
 /// The Fig. 9 grid.
 #[derive(Debug, Clone, Default)]
 pub struct Fig9 {
@@ -56,6 +81,8 @@ pub struct Fig9 {
     /// The point-cloud density/order sensitivity companion sweep (empty
     /// for subset runs).
     pub density: Vec<DensityCell>,
+    /// The NSB retention-policy study (empty for subset runs).
+    pub policy: Vec<PolicyCell>,
 }
 
 /// NSB sweep points (KB).
@@ -108,6 +135,7 @@ pub fn run_subset_jobs(
                     width: DataWidth::Fp16,
                     seed,
                     scale,
+                    order: TileOrder::Natural,
                 };
                 let program = WorkloadId::H2o.build(&spec);
                 let engine = NpuEngine::new(NpuConfig::default());
@@ -139,6 +167,7 @@ pub fn run_subset_jobs(
     Fig9 {
         cells: run_batch(tasks, jobs),
         density: Vec::new(),
+        policy: Vec::new(),
     }
 }
 
@@ -170,6 +199,7 @@ pub fn density_sweep_jobs(scale: Scale, seed: u64, jobs: usize) -> Vec<DensityCe
                     width: DataWidth::Fp16,
                     seed,
                     scale,
+                    order: TileOrder::Natural,
                 };
                 let params = PointcloudParams::mk_default()
                     .with_points(points)
@@ -190,12 +220,85 @@ pub fn density_sweep_jobs(scale: Scale, seed: u64, jobs: usize) -> Vec<DensityCe
     run_batch(tasks, jobs)
 }
 
-/// Runs the full paper grid plus the density/order companion sweep on
-/// `jobs` workers.
+/// NSB capacities of the retention-policy study (KB).
+pub const POLICY_NSB_SIZES: [u64; 3] = [8, 16, 32];
+/// Admission thresholds swept for the scored rows of the policy study.
+pub const POLICY_ADMITS: [u32; 3] = [2, 4, 8];
+
+/// Runs the NSB retention-policy study: GCN under the clustered tile
+/// order, NVR+NSB, over NSB capacity x {pure-LRU, scored fill/shrink} x
+/// admission threshold. The `lru` rows run the plain-LRU buffer exactly
+/// as the pre-policy seed did; the `scored` rows run the shipped
+/// configuration — scored NSB plus score-weighted-eviction L2
+/// ([`RetentionPolicy::ScoredEvict`]) — at each threshold, so the study
+/// reads as "what did the policy buy at this capacity, and how sharp is
+/// the admission knob".
+#[must_use]
+pub fn policy_sweep_jobs(scale: Scale, seed: u64, jobs: usize) -> Vec<PolicyCell> {
+    let mut axes: Vec<(u64, &'static str, u32)> = Vec::new();
+    for &nsb_kb in &POLICY_NSB_SIZES {
+        axes.push((nsb_kb, "lru", 0));
+        for &admit in &POLICY_ADMITS {
+            axes.push((nsb_kb, "scored", admit));
+        }
+    }
+    let tasks: Vec<_> = axes
+        .into_iter()
+        .map(|(nsb_kb, policy, admit)| {
+            move || {
+                let spec = WorkloadSpec {
+                    width: DataWidth::Fp16,
+                    seed,
+                    scale,
+                    order: TileOrder::Clustered,
+                };
+                let program = WorkloadId::Gcn.build(&spec);
+                let mem_cfg = if policy == "lru" {
+                    MemoryConfig::default().with_nsb(nsb_config(nsb_kb))
+                } else {
+                    let mut cfg = MemoryConfig::default().with_nsb(nsb_scored(nsb_kb));
+                    cfg.l2.policy = RetentionPolicy::ScoredEvict;
+                    cfg
+                };
+                let ino = run_system(&program, &mem_cfg, SystemKind::InOrder);
+                let nsb = run_system_tuned(&program, &mem_cfg, SystemKind::NvrNsb, Some(admit));
+                PolicyCell {
+                    nsb_kb,
+                    policy,
+                    admit,
+                    cycles: nsb.result.total_cycles,
+                    speedup: ino.result.total_cycles as f64 / nsb.result.total_cycles.max(1) as f64,
+                }
+            }
+        })
+        .collect();
+    run_batch(tasks, jobs)
+}
+
+/// Renders the policy study as a deterministic CSV (the CI artifact).
+#[must_use]
+pub fn policy_csv(cells: &[PolicyCell]) -> String {
+    let mut out = String::from("workload,order,nsb_kb,policy,admit,cycles,speedup\n");
+    for c in cells {
+        out.push_str(&format!(
+            "GCN,clustered,{},{},{},{},{}\n",
+            c.nsb_kb,
+            c.policy,
+            c.admit,
+            c.cycles,
+            fmt3(c.speedup)
+        ));
+    }
+    out
+}
+
+/// Runs the full paper grid plus the density/order and retention-policy
+/// companion sweeps on `jobs` workers.
 #[must_use]
 pub fn run_jobs(scale: Scale, seed: u64, jobs: usize) -> Fig9 {
     let mut fig = run_subset_jobs(scale, seed, &NSB_SIZES, &L2_SIZES, jobs);
     fig.density = density_sweep_jobs(scale, seed, jobs);
+    fig.policy = policy_sweep_jobs(scale, seed, jobs);
     fig
 }
 
@@ -278,6 +381,30 @@ impl fmt::Display for Fig9 {
             }
             writeln!(f, "{t}")?;
         }
+        if !self.policy.is_empty() {
+            writeln!(f)?;
+            writeln!(
+                f,
+                "Fig. 9 companion — NSB retention-policy study (GCN, clustered order, NVR+NSB)"
+            )?;
+            let mut t = Table::new(vec![
+                "NSB KB".into(),
+                "policy".into(),
+                "admit".into(),
+                "cycles".into(),
+                "speedup vs InO".into(),
+            ]);
+            for c in &self.policy {
+                t.row(vec![
+                    c.nsb_kb.to_string(),
+                    c.policy.to_owned(),
+                    c.admit.to_string(),
+                    c.cycles.to_string(),
+                    format!("{}x", fmt3(c.speedup)),
+                ]);
+            }
+            writeln!(f, "{t}")?;
+        }
         Ok(())
     }
 }
@@ -318,6 +445,36 @@ mod tests {
                 c.speedup
             );
         }
+    }
+
+    #[test]
+    fn policy_study_covers_axes_and_exports_csv() {
+        let cells = policy_sweep_jobs(Scale::Tiny, 4, 2);
+        assert_eq!(
+            cells.len(),
+            POLICY_NSB_SIZES.len() * (1 + POLICY_ADMITS.len())
+        );
+        for c in &cells {
+            assert!(c.speedup > 1.0, "{c:?}: NVR+NSB should beat InO");
+            assert_eq!(c.policy == "lru", c.admit == 0);
+        }
+        let csv = policy_csv(&cells);
+        assert!(csv.starts_with("workload,order,nsb_kb,policy,admit,cycles,speedup\n"));
+        assert_eq!(csv.lines().count(), cells.len() + 1);
+    }
+
+    #[test]
+    fn scored_nsb_at_admit_zero_degenerates_to_lru() {
+        // System-level LRU-equivalence invariant: a scored NSB with the
+        // admission knob at 0 must reproduce the plain-LRU buffer's run
+        // cycle for cycle (the policy only diverges once scores flow).
+        let spec = WorkloadSpec::tiny(DataWidth::Fp16, 4);
+        let program = WorkloadId::Gcn.build(&spec);
+        let lru_cfg = MemoryConfig::default().with_nsb(nsb_config(16));
+        let scored_cfg = MemoryConfig::default().with_nsb(nsb_scored(16));
+        let lru = run_system_tuned(&program, &lru_cfg, SystemKind::NvrNsb, Some(0));
+        let scored = run_system_tuned(&program, &scored_cfg, SystemKind::NvrNsb, Some(0));
+        assert_eq!(lru.result.total_cycles, scored.result.total_cycles);
     }
 
     #[test]

@@ -14,7 +14,7 @@ use std::fmt;
 
 use nvr_common::DataWidth;
 use nvr_mem::MemoryConfig;
-use nvr_workloads::{Scale, WorkloadId};
+use nvr_workloads::{Scale, TileOrder, WorkloadId};
 
 use crate::metrics::geometric_mean;
 use crate::runner::SystemKind;
@@ -70,10 +70,17 @@ fn config_speedups(
         .iter()
         .map(|&w| {
             let ino = results
-                .get(w, SystemKind::InOrder, scale, DataWidth::Fp16, seed)
+                .get(
+                    w,
+                    SystemKind::InOrder,
+                    scale,
+                    TileOrder::Natural,
+                    DataWidth::Fp16,
+                    seed,
+                )
                 .expect("InO baseline in sweep");
             let sys = results
-                .get(w, system, scale, DataWidth::Fp16, seed)
+                .get(w, system, scale, TileOrder::Natural, DataWidth::Fp16, seed)
                 .expect("system cell in sweep");
             (
                 w.short(),
@@ -110,7 +117,7 @@ pub fn run_jobs_with_workloads(
     let results = run_sweep(&spec, jobs);
     let cell = |w, s| {
         &results
-            .get(w, s, scale, DataWidth::Fp16, seed)
+            .get(w, s, scale, TileOrder::Natural, DataWidth::Fp16, seed)
             .expect("sweep covers the full grid")
             .outcome
     };

@@ -1,7 +1,7 @@
 //! Comparable single runs of one program under one system configuration.
 
 use nvr_common::Cycle;
-use nvr_core::{nsb_config, NvrConfig, NvrPrefetcher};
+use nvr_core::{nsb_scored, NvrConfig, NvrPrefetcher};
 use nvr_mem::{MemoryConfig, MemorySystem};
 use nvr_npu::{NpuConfig, NpuEngine, RunResult};
 use nvr_prefetch::{
@@ -77,12 +77,21 @@ impl SystemKind {
     }
 
     /// The memory configuration this system actually runs against:
-    /// [`SystemKind::NvrNsb`] adds the paper's default NSB when the given
-    /// configuration has none; every other system uses it as-is.
+    /// [`SystemKind::NvrNsb`] adds the paper's default NSB — under the
+    /// scored retention policy, which degenerates to LRU bit-for-bit when
+    /// admission scoring is off — when the given configuration has none,
+    /// and runs the L2 under score-weighted eviction
+    /// ([`nvr_mem::RetentionPolicy::ScoredEvict`], always-admit) so
+    /// predicted-reuse scores pin hub lines at both levels; every other
+    /// system uses the configuration as-is.
     #[must_use]
     pub fn effective_mem_cfg(self, mem_cfg: &MemoryConfig) -> MemoryConfig {
         match self {
-            SystemKind::NvrNsb if mem_cfg.nsb.is_none() => mem_cfg.clone().with_nsb(nsb_config(16)),
+            SystemKind::NvrNsb if mem_cfg.nsb.is_none() => {
+                let mut cfg = mem_cfg.clone().with_nsb(nsb_scored(16));
+                cfg.l2.policy = nvr_mem::RetentionPolicy::ScoredEvict;
+                cfg
+            }
             SystemKind::InOrder
             | SystemKind::OutOfOrder
             | SystemKind::Stream
@@ -105,20 +114,26 @@ impl SystemKind {
         }
     }
 
-    fn prefetcher(self, mem_cfg: &MemoryConfig) -> Box<dyn Prefetcher> {
+    fn prefetcher(self, mem_cfg: &MemoryConfig, nsb_admit: Option<u32>) -> Box<dyn Prefetcher> {
+        let tune = |mut cfg: NvrConfig| {
+            if let Some(admit) = nsb_admit {
+                cfg.nsb_admit_min_reuse = admit;
+            }
+            cfg
+        };
         match self {
             SystemKind::InOrder | SystemKind::OutOfOrder => Box::new(NullPrefetcher::new()),
             SystemKind::Stream => Box::new(StreamPrefetcher::default()),
             SystemKind::Imp => Box::new(ImpPrefetcher::default()),
             SystemKind::Dvr => Box::new(DvrPrefetcher::default()),
-            SystemKind::NvrNsb => Box::new(NvrPrefetcher::new(NvrConfig::with_nsb())),
+            SystemKind::NvrNsb => Box::new(NvrPrefetcher::new(tune(NvrConfig::with_nsb()))),
             SystemKind::Nvr => {
                 let cfg = if mem_cfg.nsb.is_some() {
                     NvrConfig::with_nsb()
                 } else {
                     NvrConfig::default()
                 };
-                Box::new(NvrPrefetcher::new(cfg))
+                Box::new(NvrPrefetcher::new(tune(cfg)))
             }
         }
     }
@@ -177,11 +192,25 @@ impl RunOutcome {
 /// for the base/stall split.
 #[must_use]
 pub fn run_system(program: &NpuProgram, mem_cfg: &MemoryConfig, system: SystemKind) -> RunOutcome {
+    run_system_tuned(program, mem_cfg, system, None)
+}
+
+/// [`run_system`] with an NSB-admission override: `Some(t)` forces
+/// `NvrConfig::nsb_admit_min_reuse = t` on the NVR-family systems (0
+/// disables admission scoring, reverting the NSB to pure LRU); `None`
+/// keeps each system's calibrated default. Non-NVR systems ignore it.
+#[must_use]
+pub fn run_system_tuned(
+    program: &NpuProgram,
+    mem_cfg: &MemoryConfig,
+    system: SystemKind,
+    nsb_admit: Option<u32>,
+) -> RunOutcome {
     let engine = NpuEngine::new(system.npu_config());
     let mem_cfg = system.effective_mem_cfg(mem_cfg);
 
     let mut mem = MemorySystem::new(mem_cfg.clone());
-    let mut prefetcher = system.prefetcher(&mem_cfg);
+    let mut prefetcher = system.prefetcher(&mem_cfg, nsb_admit);
     let result = engine.run(program, &mut mem, prefetcher.as_mut());
     prefetcher.finalize_run(&mut mem);
     let timeliness = prefetcher.timeliness();

@@ -37,10 +37,10 @@ use std::time::{Duration, Instant};
 
 use nvr_common::DataWidth;
 use nvr_mem::MemoryConfig;
-use nvr_workloads::{Scale, WorkloadId, WorkloadSpec};
+use nvr_workloads::{Scale, TileOrder, WorkloadId, WorkloadSpec};
 
 use crate::report::{fmt3, Table};
-use crate::runner::{run_system, RunOutcome, SystemKind};
+use crate::runner::{run_system_tuned, RunOutcome, SystemKind};
 
 /// Seed the experiment harnesses default to (kept in sync with
 /// `nvr_bench::EXPERIMENT_SEED`).
@@ -56,10 +56,18 @@ pub struct SweepSpec {
     pub systems: Vec<SystemKind>,
     /// Problem-size axis.
     pub scales: Vec<Scale>,
+    /// Tile-order axis: the graph workloads' node-visit schedule
+    /// ([`TileOrder`]); non-graph workloads build identically under every
+    /// order, so single-order sweeps should stick to the default.
+    pub orders: Vec<TileOrder>,
     /// Operand-width axis.
     pub widths: Vec<DataWidth>,
     /// RNG-seed axis (scenario diversity).
     pub seeds: Vec<u64>,
+    /// NSB-admission override shared by every cell: `Some(t)` forces the
+    /// NVR-family `nsb_admit_min_reuse` to `t` (0 = pure-LRU NSB), `None`
+    /// keeps the calibrated default.
+    pub nsb_admit: Option<u32>,
     /// Memory system shared by every cell.
     pub mem_cfg: MemoryConfig,
 }
@@ -71,15 +79,17 @@ impl Default for SweepSpec {
             workloads: WorkloadId::ALL.to_vec(),
             systems: SystemKind::ALL.to_vec(),
             scales: vec![Scale::Default],
+            orders: vec![TileOrder::Natural],
             widths: vec![DataWidth::Fp16],
             seeds: vec![DEFAULT_SEED],
+            nsb_admit: None,
             mem_cfg: MemoryConfig::default(),
         }
     }
 }
 
 impl SweepSpec {
-    /// Builds the cartesian product of the five axes, in deterministic
+    /// Builds the cartesian product of the six axes, in deterministic
     /// row-major order (workload outermost, seed innermost).
     #[must_use]
     pub fn jobs(&self) -> Vec<SweepJob> {
@@ -87,22 +97,27 @@ impl SweepSpec {
             self.workloads.len()
                 * self.systems.len()
                 * self.scales.len()
+                * self.orders.len()
                 * self.widths.len()
                 * self.seeds.len(),
         );
         for &workload in &self.workloads {
             for &system in &self.systems {
                 for &scale in &self.scales {
-                    for &width in &self.widths {
-                        for &seed in &self.seeds {
-                            out.push(SweepJob {
-                                workload,
-                                system,
-                                scale,
-                                width,
-                                seed,
-                                mem_cfg: self.mem_cfg.clone(),
-                            });
+                    for &order in &self.orders {
+                        for &width in &self.widths {
+                            for &seed in &self.seeds {
+                                out.push(SweepJob {
+                                    workload,
+                                    system,
+                                    scale,
+                                    order,
+                                    width,
+                                    seed,
+                                    nsb_admit: self.nsb_admit,
+                                    mem_cfg: self.mem_cfg.clone(),
+                                });
+                            }
                         }
                     }
                 }
@@ -121,23 +136,28 @@ pub struct SweepJob {
     pub system: SystemKind,
     /// Problem size.
     pub scale: Scale,
+    /// Graph-workload node-visit order.
+    pub order: TileOrder,
     /// Operand width.
     pub width: DataWidth,
     /// Program seed.
     pub seed: u64,
+    /// NSB-admission override for the NVR-family systems.
+    pub nsb_admit: Option<u32>,
     /// Memory system configuration.
     pub mem_cfg: MemoryConfig,
 }
 
 impl SweepJob {
-    /// Stable lookup/reporting key, e.g. `DS/NVR/default/FP16/2025`.
+    /// Stable lookup/reporting key, e.g. `DS/NVR/default/natural/FP16/2025`.
     #[must_use]
     pub fn key(&self) -> String {
         format!(
-            "{}/{}/{}/{}/{}",
+            "{}/{}/{}/{}/{}/{}",
             self.workload.short(),
             self.system.label(),
             self.scale,
+            self.order,
             self.width,
             self.seed
         )
@@ -150,9 +170,10 @@ impl SweepJob {
             width: self.width,
             seed: self.seed,
             scale: self.scale,
+            order: self.order,
         };
         let program = self.workload.build(&spec);
-        run_system(&program, &self.mem_cfg, self.system)
+        run_system_tuned(&program, &self.mem_cfg, self.system, self.nsb_admit)
     }
 }
 
@@ -185,6 +206,7 @@ impl SweepResults {
         workload: WorkloadId,
         system: SystemKind,
         scale: Scale,
+        order: TileOrder,
         width: DataWidth,
         seed: u64,
     ) -> Option<&SweepCell> {
@@ -192,17 +214,29 @@ impl SweepResults {
             c.job.workload == workload
                 && c.job.system == system
                 && c.job.scale == scale
+                && c.job.order == order
                 && c.job.width == width
                 && c.job.seed == seed
         })
     }
 
     /// Speedup of `system` over the in-order baseline of the same
-    /// (workload, scale, width, seed) cell, when both are in the table.
+    /// (workload, scale, order, width, seed) cell, when both are in the
+    /// table. The baseline shares the cell's tile order: an order is a
+    /// compile-time schedule available to every system, so its intrinsic
+    /// locality benefit accrues to the baseline too and the ratio isolates
+    /// what the prefetcher adds on top.
     #[must_use]
     pub fn speedup_vs_inorder(&self, cell: &SweepCell) -> Option<f64> {
         let j = &cell.job;
-        let base = self.get(j.workload, SystemKind::InOrder, j.scale, j.width, j.seed)?;
+        let base = self.get(
+            j.workload,
+            SystemKind::InOrder,
+            j.scale,
+            j.order,
+            j.width,
+            j.seed,
+        )?;
         Some(
             base.outcome.result.total_cycles as f64
                 / cell.outcome.result.total_cycles.max(1) as f64,
@@ -210,7 +244,7 @@ impl SweepResults {
     }
 
     /// Mean speedup and 95% CI half-width of `cell`'s seed group — every
-    /// cell sharing its (workload, system, scale, width) across the
+    /// cell sharing its (workload, system, scale, order, width) across the
     /// sweep's seed axis. `None` when no cell of the group has an
     /// in-order baseline; the half-width is 0 for a single seed.
     #[must_use]
@@ -223,6 +257,7 @@ impl SweepResults {
                 c.job.workload == j.workload
                     && c.job.system == j.system
                     && c.job.scale == j.scale
+                    && c.job.order == j.order
                     && c.job.width == j.width
             })
             .filter_map(|c| self.speedup_vs_inorder(c))
@@ -249,7 +284,7 @@ impl SweepResults {
     #[must_use]
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
-            "workload,system,scale,width,seed,cycles,base_cycles,\
+            "workload,system,scale,order,width,seed,cycles,base_cycles,\
              l2_demand_misses,l2_demand_hits,dram_demand_lines,\
              prefetch_issued,prefetch_useful,prefetch_late,\
              pf_timely,pf_late,pf_evicted_unused,pf_slack_mean,\
@@ -271,10 +306,11 @@ impl SweepResults {
                 |(m, ci)| (format!("{m:.3}"), format!("{ci:.3}")),
             );
             out.push_str(&format!(
-                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{:.3},{},{},{},{:.3},{:.3},{},{},{}\n",
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{:.3},{},{},{},{:.3},{:.3},{},{},{}\n",
                 c.job.workload.short(),
                 c.job.system.label(),
                 c.job.scale,
+                c.job.order,
                 c.job.width,
                 c.job.seed,
                 c.outcome.result.total_cycles,
@@ -321,6 +357,7 @@ impl fmt::Display for SweepResults {
             "workload".into(),
             "system".into(),
             "scale".into(),
+            "order".into(),
             "width".into(),
             "seed".into(),
             "cycles".into(),
@@ -333,6 +370,7 @@ impl fmt::Display for SweepResults {
                 c.job.workload.short().into(),
                 c.job.system.label().into(),
                 c.job.scale.to_string(),
+                c.job.order.to_string(),
                 c.job.width.to_string(),
                 c.job.seed.to_string(),
                 c.outcome.result.total_cycles.to_string(),
@@ -351,6 +389,7 @@ impl fmt::Display for SweepResults {
                 a.workload == b.workload
                     && a.system == b.system
                     && a.scale == b.scale
+                    && a.order == b.order
                     && a.width == b.width
             };
             match seen.iter_mut().find(|(rep, _)| group(&rep.job, &c.job)) {
@@ -364,6 +403,7 @@ impl fmt::Display for SweepResults {
                 "workload".into(),
                 "system".into(),
                 "scale".into(),
+                "order".into(),
                 "width".into(),
                 "seeds".into(),
                 "speedup".into(),
@@ -377,6 +417,7 @@ impl fmt::Display for SweepResults {
                     rep.job.workload.short().into(),
                     rep.job.system.label().into(),
                     rep.job.scale.to_string(),
+                    rep.job.order.to_string(),
                     rep.job.width.to_string(),
                     n.to_string(),
                     cell,
@@ -452,10 +493,10 @@ mod tests {
         assert_eq!(
             keys,
             [
-                "DS/InO/tiny/INT8/7",
-                "DS/NVR/tiny/INT8/7",
-                "ST/InO/tiny/INT8/7",
-                "ST/NVR/tiny/INT8/7",
+                "DS/InO/tiny/natural/INT8/7",
+                "DS/NVR/tiny/natural/INT8/7",
+                "ST/InO/tiny/natural/INT8/7",
+                "ST/NVR/tiny/natural/INT8/7",
             ]
         );
     }
@@ -469,6 +510,7 @@ mod tests {
                 WorkloadId::Ds,
                 SystemKind::Nvr,
                 Scale::Tiny,
+                TileOrder::Natural,
                 DataWidth::Int8,
                 7,
             )
@@ -481,6 +523,7 @@ mod tests {
                 WorkloadId::Ds,
                 SystemKind::InOrder,
                 Scale::Tiny,
+                TileOrder::Natural,
                 DataWidth::Int8,
                 7,
             )
@@ -498,7 +541,7 @@ mod tests {
         let a = run_sweep(&spec, 1).to_csv();
         let b = run_sweep(&spec, 4).to_csv();
         assert_eq!(a, b, "jobs=1 and jobs=4 CSVs must be identical");
-        assert!(a.starts_with("workload,system,scale,width,seed,cycles"));
+        assert!(a.starts_with("workload,system,scale,order,width,seed,cycles"));
         let header = a.lines().next().expect("header");
         for col in ["ch_util_mean", "pf_qd_p50", "speedup_ci95", "channels"] {
             assert!(header.contains(col), "missing CSV column {col}");
@@ -521,6 +564,7 @@ mod tests {
                 WorkloadId::Ds,
                 SystemKind::Nvr,
                 Scale::Tiny,
+                TileOrder::Natural,
                 DataWidth::Int8,
                 2,
             )
@@ -534,6 +578,7 @@ mod tests {
                 WorkloadId::Ds,
                 SystemKind::Nvr,
                 Scale::Tiny,
+                TileOrder::Natural,
                 DataWidth::Int8,
                 3,
             )

@@ -58,14 +58,16 @@ pub(crate) fn build_gnn(
     let row_bytes = feat_dim as u64 * spec.width.bytes();
     let n_tiles = tiles * spec.scale.tile_factor();
 
-    // Edge-blocked traversal: walk nodes in order, cutting a tile whenever
-    // the edge budget fills. Tile lengths still vary (tiles close at node
-    // boundaries' remainders), exercising the LBD's window prediction.
+    // Edge-blocked traversal: walk nodes in `spec.order`'s permutation
+    // (identity under Natural), cutting a tile whenever the edge budget
+    // fills. Tile lengths still vary (tiles close at node boundaries'
+    // remainders), exercising the LBD's window prediction.
+    let perm = graph.permutation(spec.order);
     let mut sketches = Vec::with_capacity(n_tiles);
     let mut current: Vec<u32> = Vec::with_capacity(EDGE_CAP);
     let mut node = 0usize;
     while sketches.len() < n_tiles {
-        let neighbours = graph.neighbours(node % graph.nodes());
+        let neighbours = graph.neighbours(perm[node % graph.nodes()] as usize);
         for chunk in neighbours.chunks(EDGE_CAP) {
             if current.len() + chunk.len() > EDGE_CAP && !current.is_empty() {
                 sketches.push(make_tile(spec, &sa, &mut current, feat_dim, compute_scale));

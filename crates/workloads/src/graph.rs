@@ -8,6 +8,8 @@
 
 use nvr_common::Pcg32;
 
+use crate::spec::TileOrder;
+
 /// A directed graph in CSR-like adjacency form.
 ///
 /// # Examples
@@ -141,6 +143,47 @@ impl Graph {
     pub fn degree(&self, v: usize) -> usize {
         (self.offsets[v + 1] - self.offsets[v]) as usize
     }
+
+    /// The *anchor* of `v`: its highest-degree out-neighbour (smallest id
+    /// on ties). Nodes sharing an anchor share their hottest gather row,
+    /// so visiting them consecutively collapses that row's reuse
+    /// distance to the community size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[must_use]
+    pub fn anchor(&self, v: usize) -> u32 {
+        let ns = self.neighbours(v);
+        let mut best = ns[0];
+        for &n in &ns[1..] {
+            let (bd, nd) = (self.degree(best as usize), self.degree(n as usize));
+            if nd > bd || (nd == bd && n < best) {
+                best = n;
+            }
+        }
+        best
+    }
+
+    /// Node-visit permutation realising `order` (deterministic: stable
+    /// sorts with node-id tie-breaks over the already-deterministic
+    /// adjacency). [`TileOrder::Natural`] is the identity, so order-aware
+    /// builders that index through it stay bit-identical to the
+    /// pre-order-aware walk.
+    #[must_use]
+    pub fn permutation(&self, order: TileOrder) -> Vec<u32> {
+        let mut perm: Vec<u32> = (0..self.nodes() as u32).collect();
+        match order {
+            TileOrder::Natural => {}
+            TileOrder::DegreeSorted => {
+                perm.sort_by_key(|&v| (std::cmp::Reverse(self.degree(v as usize)), v));
+            }
+            TileOrder::Clustered => {
+                perm.sort_by_key(|&v| (self.anchor(v as usize), v));
+            }
+        }
+        perm
+    }
 }
 
 #[cfg(test)]
@@ -175,6 +218,50 @@ mod tests {
             let ns = g.neighbours(v);
             assert!(ns.windows(2).all(|w| w[0] < w[1]), "node {v} unsorted");
             assert!(ns.iter().all(|&n| (n as usize) < g.nodes()));
+        }
+    }
+
+    #[test]
+    fn natural_permutation_is_identity() {
+        let mut rng = Pcg32::seed_from_u64(9);
+        let g = Graph::rmat(64, 4.0, &mut rng);
+        let perm = g.permutation(TileOrder::Natural);
+        assert_eq!(perm, (0..64u32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn degree_sorted_is_monotone_with_stable_ties() {
+        let mut rng = Pcg32::seed_from_u64(10);
+        let g = Graph::rmat(256, 6.0, &mut rng);
+        let perm = g.permutation(TileOrder::DegreeSorted);
+        let mut sorted = perm.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..256u32).collect::<Vec<_>>(), "not a permutation");
+        for w in perm.windows(2) {
+            let (da, db) = (g.degree(w[0] as usize), g.degree(w[1] as usize));
+            assert!(da > db || (da == db && w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn clustered_groups_by_anchor() {
+        let mut rng = Pcg32::seed_from_u64(11);
+        let g = Graph::rmat(256, 6.0, &mut rng);
+        let perm = g.permutation(TileOrder::Clustered);
+        let mut sorted = perm.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..256u32).collect::<Vec<_>>(), "not a permutation");
+        for w in perm.windows(2) {
+            let (fa, fb) = (g.anchor(w[0] as usize), g.anchor(w[1] as usize));
+            assert!(fa < fb || (fa == fb && w[0] < w[1]));
+        }
+        // The anchor is the highest-degree out-neighbour, lowest id on ties.
+        for v in 0..g.nodes() {
+            let a = g.anchor(v);
+            for &n in g.neighbours(v) {
+                let (da, dn) = (g.degree(a as usize), g.degree(n as usize));
+                assert!(da > dn || (da == dn && a <= n), "node {v}: {a} vs {n}");
+            }
         }
     }
 

@@ -46,7 +46,7 @@ pub mod two_sided;
 
 pub use graph::Graph;
 pub use minkowski::{PointcloudParams, VoxelOrder};
-pub use spec::{Scale, WorkloadSpec};
+pub use spec::{Scale, TileOrder, WorkloadSpec};
 
 use nvr_trace::NpuProgram;
 
@@ -181,6 +181,28 @@ mod tests {
                 "{} tile count differs",
                 id.short()
             );
+        }
+    }
+
+    #[test]
+    fn tile_orders_permute_gnn_programs_only() {
+        let spec = WorkloadSpec::tiny(DataWidth::Int8, 7);
+        for id in WorkloadId::ALL {
+            let natural = id.build(&spec);
+            for order in [TileOrder::DegreeSorted, TileOrder::Clustered] {
+                let reordered = id.build(&spec.with_order(order));
+                reordered.assert_valid();
+                let graphy = matches!(id, WorkloadId::Gat | WorkloadId::Gcn);
+                let same_indices = natural.tiles.iter().zip(&reordered.tiles).all(|(a, b)| {
+                    a.index_values(&natural.image) == b.index_values(&reordered.image)
+                });
+                if graphy {
+                    assert!(!same_indices, "{} ignored order {order}", id.short());
+                } else {
+                    assert_eq!(natural.stats(), reordered.stats());
+                    assert!(same_indices, "{} should ignore order", id.short());
+                }
+            }
         }
     }
 

@@ -65,6 +65,64 @@ impl std::str::FromStr for Scale {
     }
 }
 
+/// Node-visit order of the graph workloads' tile builders (GCN/GAT) —
+/// the reuse-aware tile *scheduling* axis. The aggregation itself is
+/// order-insensitive (a sum over neighbours), so reordering the node walk
+/// is a legal compiler-level schedule choice; what changes is *which*
+/// neighbour rows land in the same lookahead window, and therefore how
+/// much implicit line reuse the NSB can capture. Non-graph workloads
+/// ignore it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum TileOrder {
+    /// Natural node-id order — bit-identical to the pre-order-aware
+    /// builders.
+    #[default]
+    Natural,
+    /// Descending out-degree (stable, node id tie-break): the heaviest
+    /// aggregations run first, so the hub rows their long adjacency lists
+    /// keep re-touching are resolved — and NSB-scored — early and often.
+    DegreeSorted,
+    /// Community-clustered (stable sort by smallest neighbour id): nodes
+    /// whose adjacency lists start in the same region of the feature
+    /// table aggregate together, so windows share neighbour rows.
+    Clustered,
+}
+
+impl TileOrder {
+    /// All orders, natural first.
+    pub const ALL: [TileOrder; 3] = [
+        TileOrder::Natural,
+        TileOrder::DegreeSorted,
+        TileOrder::Clustered,
+    ];
+}
+
+impl std::fmt::Display for TileOrder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            TileOrder::Natural => "natural",
+            TileOrder::DegreeSorted => "degree",
+            TileOrder::Clustered => "clustered",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::str::FromStr for TileOrder {
+    type Err = nvr_common::NvrError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "natural" => Ok(TileOrder::Natural),
+            "degree" => Ok(TileOrder::DegreeSorted),
+            "clustered" => Ok(TileOrder::Clustered),
+            other => Err(nvr_common::NvrError::Parse(format!(
+                "unknown tile order `{other}` (expected natural|degree|clustered)"
+            ))),
+        }
+    }
+}
+
 /// Parameters shared by all workload generators.
 ///
 /// # Examples
@@ -84,6 +142,8 @@ pub struct WorkloadSpec {
     pub seed: u64,
     /// Problem size class.
     pub scale: Scale,
+    /// Node-visit order of the graph workloads (ignored by the rest).
+    pub order: TileOrder,
 }
 
 impl WorkloadSpec {
@@ -94,6 +154,7 @@ impl WorkloadSpec {
             width,
             seed,
             scale: Scale::Default,
+            order: TileOrder::Natural,
         }
     }
 
@@ -104,7 +165,15 @@ impl WorkloadSpec {
             width,
             seed,
             scale: Scale::Tiny,
+            order: TileOrder::Natural,
         }
+    }
+
+    /// This spec with a different tile order.
+    #[must_use]
+    pub fn with_order(mut self, order: TileOrder) -> Self {
+        self.order = order;
+        self
     }
 
     /// The systolic array the compute budgets assume.

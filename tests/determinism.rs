@@ -64,15 +64,19 @@ fn parallel_sweep_matches_serial_bit_for_bit() {
     // The sweep runner must be a pure parallelisation: fanning the grid
     // out over 4 workers may not change a single counter relative to the
     // single-threaded run of the same spec. The spec deliberately covers
-    // the NSB-backed system and a two-channel DRAM backend, so the
-    // demand/prefetch arbitration and channel interleave are part of the
-    // bit-equality contract.
+    // the NSB-backed system (whose scored retention and VMIG admission
+    // threshold are active), every tile order (so the order-permuted GAT
+    // builds are part of the contract), and a two-channel DRAM backend,
+    // so the demand/prefetch arbitration and channel interleave are part
+    // of the bit-equality contract.
     let spec = SweepSpec {
         workloads: vec![WorkloadId::Ds, WorkloadId::Mk, WorkloadId::Gat],
         systems: vec![SystemKind::InOrder, SystemKind::Nvr, SystemKind::NvrNsb],
         scales: vec![Scale::Tiny],
+        orders: TileOrder::ALL.to_vec(),
         widths: vec![DataWidth::Fp16],
         seeds: vec![777, 778],
+        nsb_admit: None,
         mem_cfg: MemoryConfig {
             dram: DramConfig::default().with_channels(2),
             ..MemoryConfig::default()

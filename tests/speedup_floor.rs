@@ -1,0 +1,119 @@
+//! Speedup-regression floors: the tiny-scale 8-workload x {InO, NVR,
+//! NVR+NSB} grid must never drop below the committed per-workload
+//! speedups in `tests/speedup_floors.toml`.
+//!
+//! The floors are measured values minus a ~5% tolerance, so a retention
+//! or scheduling change that silently trades one workload's speedup for
+//! another's fails here with the exact workload and number. The floors
+//! file documents the update procedure; floors only move with a
+//! justified commit, never to make a red run green.
+
+use std::collections::BTreeMap;
+
+use nvr::prelude::*;
+use nvr::sim::sweep::DEFAULT_SEED;
+
+/// Per-workload floors parsed from `speedup_floors.toml`.
+#[derive(Debug, Default)]
+struct Floors {
+    /// `short -> (nvr_floor, nvr_nsb_floor)`.
+    by_workload: BTreeMap<String, (f64, f64)>,
+}
+
+/// Hand-rolled parser for the committed floors table: `[SHORT]` section
+/// headers and `key = value` float lines (the workspace vendors no toml
+/// crate, and the file deliberately uses nothing fancier).
+fn parse_floors(text: &str) -> Floors {
+    let mut floors = Floors::default();
+    let mut section = String::new();
+    for raw in text.lines() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+            section = name.trim().to_owned();
+            floors.by_workload.entry(section.clone()).or_default();
+            continue;
+        }
+        let (key, value) = line.split_once('=').unwrap_or_else(|| {
+            panic!("speedup_floors.toml: line {line:?} is neither section nor key = value")
+        });
+        let value: f64 = value
+            .trim()
+            .parse()
+            .unwrap_or_else(|e| panic!("speedup_floors.toml: bad float in {line:?}: {e}"));
+        assert!(!section.is_empty(), "key {line:?} before any [section]");
+        let entry = floors
+            .by_workload
+            .get_mut(&section)
+            .expect("section exists");
+        match key.trim() {
+            "nvr" => entry.0 = value,
+            "nvr_nsb" => entry.1 = value,
+            other => panic!("speedup_floors.toml: unknown key `{other}` in [{section}]"),
+        }
+    }
+    floors
+}
+
+fn committed_floors() -> Floors {
+    let text = include_str!("speedup_floors.toml");
+    parse_floors(text)
+}
+
+#[test]
+fn floors_file_covers_every_workload_exactly_once() {
+    let floors = committed_floors();
+    let expected: Vec<&str> = WorkloadId::ALL.iter().map(|w| w.short()).collect();
+    let present: Vec<&str> = floors.by_workload.keys().map(String::as_str).collect();
+    assert_eq!(
+        present, expected,
+        "speedup_floors.toml sections must be exactly the workload shorts, sorted"
+    );
+    for (wl, (nvr, nsb)) in &floors.by_workload {
+        assert!(*nvr > 1.0, "[{wl}] nvr floor {nvr} not a speedup");
+        assert!(*nsb > 1.0, "[{wl}] nvr_nsb floor {nsb} not a speedup");
+    }
+}
+
+#[test]
+fn tiny_grid_meets_committed_floors() {
+    let floors = committed_floors();
+    let mut failures = Vec::new();
+    for &workload in &WorkloadId::ALL {
+        let spec = WorkloadSpec {
+            width: DataWidth::Fp16,
+            seed: DEFAULT_SEED,
+            scale: Scale::Tiny,
+            order: TileOrder::Natural,
+        };
+        let program = workload.build(&spec);
+        let cfg = MemoryConfig::default();
+        let ino = run_system(&program, &cfg, SystemKind::InOrder)
+            .result
+            .total_cycles;
+        let (nvr_floor, nsb_floor) = floors.by_workload[workload.short()];
+        for (system, floor) in [
+            (SystemKind::Nvr, nvr_floor),
+            (SystemKind::NvrNsb, nsb_floor),
+        ] {
+            let cycles = run_system(&program, &cfg, system).result.total_cycles;
+            let speedup = ino as f64 / cycles.max(1) as f64;
+            if speedup < floor {
+                failures.push(format!(
+                    "{} {}: speedup {speedup:.3} below floor {floor} \
+                     (InO {ino}, {} {cycles})",
+                    workload.short(),
+                    system.label(),
+                    system.label(),
+                ));
+            }
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "speedup floors violated:\n{}\nSee tests/speedup_floors.toml for the update procedure.",
+        failures.join("\n")
+    );
+}
