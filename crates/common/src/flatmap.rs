@@ -1,0 +1,258 @@
+//! A deterministic open-addressing map for `u64` keys on simulator hot
+//! paths.
+//!
+//! The workspace bans [`std::collections::HashMap`] in simulation crates
+//! (randomised iteration order is a determinism hazard), and `BTreeMap`'s
+//! pointer chasing is too slow for bookkeeping that runs once per
+//! simulated prefetch or resolved target line. [`FlatMap`] fills the gap:
+//! linear probing over two flat vectors under a fixed hash (the
+//! splitmix64 finaliser), with backward-shift deletion — no tombstones,
+//! no allocator traffic after warm-up, and identical behaviour on every
+//! run and host.
+//!
+//! Keys are restricted to values below [`FlatMap::EMPTY`] (`u64::MAX`),
+//! which simulator identifiers — line indices, addresses, PCs — always
+//! satisfy.
+
+/// A `u64 -> u64` map over flat parallel vectors (see module docs).
+///
+/// # Examples
+///
+/// ```
+/// use nvr_common::FlatMap;
+///
+/// let mut m = FlatMap::new();
+/// m.insert(7, 100);
+/// assert_eq!(m.get(7), Some(100));
+/// assert_eq!(m.remove(7), Some(100));
+/// assert_eq!(m.get(7), None);
+/// assert_eq!(m.len(), 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FlatMap {
+    /// Keys ([`FlatMap::EMPTY`] marks a free slot).
+    keys: Vec<u64>,
+    /// Values parallel to `keys`.
+    vals: Vec<u64>,
+    /// Occupied slots.
+    len: usize,
+}
+
+/// Initial slot count; must be a power of two.
+const INITIAL_SLOTS: usize = 64;
+
+/// The splitmix64 finaliser: a fixed, statistically strong mix from key
+/// to probe start.
+fn hash(key: u64) -> u64 {
+    let mut h = key;
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94d0_49bb_1331_11eb);
+    h ^ (h >> 31)
+}
+
+impl Default for FlatMap {
+    fn default() -> Self {
+        FlatMap {
+            keys: vec![Self::EMPTY; INITIAL_SLOTS],
+            vals: vec![0; INITIAL_SLOTS],
+            len: 0,
+        }
+    }
+}
+
+impl FlatMap {
+    /// The reserved free-slot marker; not a valid key.
+    pub const EMPTY: u64 = u64::MAX;
+
+    /// An empty map.
+    #[must_use]
+    pub fn new() -> Self {
+        FlatMap::default()
+    }
+
+    /// Occupied entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the map holds no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts or overwrites `key`'s value; returns the previous value if
+    /// the key was present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` is [`FlatMap::EMPTY`].
+    pub fn insert(&mut self, key: u64, val: u64) -> Option<u64> {
+        assert!(key != Self::EMPTY, "key {key:#x} is the free-slot marker");
+        // Keep the load factor under 1/2 so probe chains stay short.
+        if (self.len + 1) * 2 > self.keys.len() {
+            self.grow();
+        }
+        let mask = self.keys.len() - 1;
+        let mut slot = (hash(key) as usize) & mask;
+        loop {
+            if self.keys[slot] == key {
+                return Some(std::mem::replace(&mut self.vals[slot], val));
+            }
+            if self.keys[slot] == Self::EMPTY {
+                self.keys[slot] = key;
+                self.vals[slot] = val;
+                self.len += 1;
+                return None;
+            }
+            slot = (slot + 1) & mask;
+        }
+    }
+
+    /// The value stored for `key`, if present.
+    #[must_use]
+    pub fn get(&self, key: u64) -> Option<u64> {
+        let mask = self.keys.len() - 1;
+        let mut slot = (hash(key) as usize) & mask;
+        loop {
+            if self.keys[slot] == key {
+                return Some(self.vals[slot]);
+            }
+            if self.keys[slot] == Self::EMPTY {
+                return None;
+            }
+            slot = (slot + 1) & mask;
+        }
+    }
+
+    /// Removes `key`, returning its value if it was present. Uses
+    /// backward-shift deletion, so probe chains stay dense and lookups
+    /// never cross tombstones.
+    pub fn remove(&mut self, key: u64) -> Option<u64> {
+        let mask = self.keys.len() - 1;
+        let mut hole = (hash(key) as usize) & mask;
+        loop {
+            if self.keys[hole] == key {
+                break;
+            }
+            if self.keys[hole] == Self::EMPTY {
+                return None;
+            }
+            hole = (hole + 1) & mask;
+        }
+        let val = self.vals[hole];
+        self.len -= 1;
+        // Backward shift: walk the cluster after the hole; any entry whose
+        // home slot does not lie cyclically inside `(hole, j]` belongs at
+        // or before the hole, so it moves into it and leaves a new hole.
+        let mut j = hole;
+        loop {
+            j = (j + 1) & mask;
+            if self.keys[j] == Self::EMPTY {
+                break;
+            }
+            let home = (hash(self.keys[j]) as usize) & mask;
+            let in_interval = if hole <= j {
+                home > hole && home <= j
+            } else {
+                home > hole || home <= j
+            };
+            if !in_interval {
+                self.keys[hole] = self.keys[j];
+                self.vals[hole] = self.vals[j];
+                hole = j;
+            }
+        }
+        self.keys[hole] = Self::EMPTY;
+        Some(val)
+    }
+
+    /// Doubles the slot count, rehashing every occupied entry.
+    fn grow(&mut self) {
+        let new_cap = self.keys.len() * 2;
+        let old_keys = std::mem::replace(&mut self.keys, vec![Self::EMPTY; new_cap]);
+        let old_vals = std::mem::replace(&mut self.vals, vec![0; new_cap]);
+        let mask = new_cap - 1;
+        for (key, val) in old_keys.into_iter().zip(old_vals) {
+            if key == Self::EMPTY {
+                continue;
+            }
+            let mut slot = (hash(key) as usize) & mask;
+            while self.keys[slot] != Self::EMPTY {
+                slot = (slot + 1) & mask;
+            }
+            self.keys[slot] = key;
+            self.vals[slot] = val;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut m = FlatMap::new();
+        assert!(m.is_empty());
+        assert_eq!(m.insert(1, 10), None);
+        assert_eq!(m.insert(2, 20), None);
+        assert_eq!(m.insert(1, 11), Some(10), "overwrite returns old value");
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.get(1), Some(11));
+        assert_eq!(m.get(3), None);
+        assert_eq!(m.remove(1), Some(11));
+        assert_eq!(m.remove(1), None);
+        assert_eq!(m.get(2), Some(20));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn survives_growth_and_heavy_churn() {
+        let mut m = FlatMap::new();
+        for i in 0..10_000u64 {
+            m.insert(i, i * 3);
+        }
+        assert_eq!(m.len(), 10_000);
+        for i in 0..10_000u64 {
+            assert_eq!(m.get(i), Some(i * 3), "key {i}");
+        }
+        // Remove evens, keep odds — exercises backward shift across
+        // clusters of every shape the hash produces.
+        for i in (0..10_000u64).step_by(2) {
+            assert_eq!(m.remove(i), Some(i * 3), "key {i}");
+        }
+        assert_eq!(m.len(), 5_000);
+        for i in 0..10_000u64 {
+            let expect = if i % 2 == 1 { Some(i * 3) } else { None };
+            assert_eq!(m.get(i), expect, "key {i}");
+        }
+    }
+
+    #[test]
+    fn deletion_preserves_colliding_probe_chains() {
+        // Dense sequential keys guarantee occupied neighbouring slots, so
+        // removals exercise the shift-vs-stay decision both ways.
+        let mut m = FlatMap::new();
+        for i in 0..48u64 {
+            m.insert(i, i);
+        }
+        for i in 0..48u64 {
+            assert_eq!(m.remove(i), Some(i));
+            for j in (i + 1)..48u64 {
+                assert_eq!(m.get(j), Some(j), "after removing {i}, key {j}");
+            }
+        }
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "free-slot marker")]
+    fn empty_marker_key_rejected() {
+        let mut m = FlatMap::new();
+        m.insert(FlatMap::EMPTY, 1);
+    }
+}

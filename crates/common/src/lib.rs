@@ -29,12 +29,14 @@
 
 pub mod addr;
 pub mod error;
+pub mod flatmap;
 pub mod rng;
 pub mod stats;
 pub mod width;
 
 pub use addr::{Addr, LineAddr, Region, LINE_BYTES, LINE_SHIFT};
 pub use error::NvrError;
+pub use flatmap::FlatMap;
 pub use rng::Pcg32;
 pub use stats::{mean, mean_ci95, Counter, Histogram, Ratio};
 pub use width::DataWidth;

@@ -71,6 +71,8 @@ use nvr_prefetch::{Prefetcher, TimelinessReport};
 use nvr_trace::event::PC_INDEX_LOAD;
 use nvr_trace::{AccessEvent, EventKind, MemoryImage, SnoopState};
 
+use nvr_common::LineAddr;
+
 use crate::config::{NvrConfig, TriggerPolicy};
 use crate::lifetime::LifetimeTracker;
 use crate::loop_bound::{LoopBoundDetector, Window};
@@ -168,6 +170,15 @@ pub struct NvrPrefetcher {
     /// index element is speculatively executed at most once, so restarted
     /// runahead never re-floods the cache with shifted re-predictions.
     covered_until: u64,
+    /// Scratch for one resolve group's index values, reused across steps.
+    scratch_values: Vec<u32>,
+    /// Scratch for one resolve group's scored target lines, reused across
+    /// steps (drained into the VIGU each use).
+    scratch_bundle: Vec<(LineAddr, u32)>,
+    /// Arena of probe-address buffers recycled between `ProbeWait` phases:
+    /// a retired window's buffer is cleared and reused by the next
+    /// two-level group instead of allocating per group.
+    probe_pool: Vec<Vec<Addr>>,
 }
 
 impl NvrPrefetcher {
@@ -199,6 +210,9 @@ impl NvrPrefetcher {
             current_tile: 0,
             miss_seen_in_tile: false,
             covered_until: 0,
+            scratch_values: Vec::new(),
+            scratch_bundle: Vec::new(),
+            probe_pool: Vec::new(),
             cfg,
         }
     }
@@ -394,11 +408,12 @@ impl NvrPrefetcher {
         // late. They ride outside the VIGU's vector accounting: a
         // sequential index run is not a PIE-resolved gather vector.
         let ahead = nvr_common::Region::new(region.end(), bytes);
-        let ahead_lines: Vec<_> = ahead
-            .lines()
-            .filter(|&line| self.sd.note_prefetched(PC_INDEX_LOAD, line))
-            .collect();
-        self.vmig.push_stream(ahead_lines);
+        let sd = &mut self.sd;
+        self.vmig.push_stream(
+            ahead
+                .lines()
+                .filter(|&line| sd.note_prefetched(PC_INDEX_LOAD, line)),
+        );
         ready
     }
 
@@ -463,7 +478,18 @@ impl NvrPrefetcher {
         image: &MemoryImage,
         mem: &mut MemorySystem,
     ) -> StepOutcome {
-        let phase = self.windows[i].phase.clone();
+        // Move the phase out (every arm writes a fresh one back) instead of
+        // cloning it — `ProbeWait` carries a probe Vec, and cloning it made
+        // every step of a two-level window an allocation.
+        let placeholder = Phase::Resolve {
+            window: Window {
+                start: 0,
+                end: 0,
+                exact: false,
+            },
+            next_elem: 0,
+        };
+        let phase = std::mem::replace(&mut self.windows[i].phase, placeholder);
         match phase {
             Phase::FetchIndex { window, .. } => {
                 // Skip straight past anything the NPU demanded while the
@@ -476,12 +502,16 @@ impl NvrPrefetcher {
             }
             Phase::Resolve { window, next_elem } => {
                 let group_end = (next_elem + self.cfg.vector_width as u64).min(window.end);
-                let values: Vec<u32> = (next_elem..group_end)
-                    .map(|e| image.read_u32(snoop.index_elem_addr(e)))
-                    .collect();
+                let mut values = std::mem::take(&mut self.scratch_values);
+                values.clear();
+                values.extend(
+                    (next_elem..group_end).map(|e| image.read_u32(snoop.index_elem_addr(e))),
+                );
                 if self.scd.is_two_level() {
-                    // Schedule probe fills for the group.
-                    let mut probes = Vec::with_capacity(values.len());
+                    // Schedule probe fills for the group, into a recycled
+                    // probe buffer from the arena.
+                    let mut probes = self.probe_pool.pop().unwrap_or_default();
+                    probes.clear();
                     let mut ready = self.clock;
                     for &v in &values {
                         // nvr-lint: allow(panic/hot-loop) reason="guarded by the is_two_level() branch above; probe_addr is total for two-level SCDs"
@@ -506,7 +536,8 @@ impl NvrPrefetcher {
                     // cold rows stay L2-only (scores all-zero when scoring
                     // is inactive, reproducing unscored behaviour exactly).
                     let scoring = self.scoring_active();
-                    let mut bundle = Vec::with_capacity(values.len());
+                    let mut bundle = std::mem::take(&mut self.scratch_bundle);
+                    bundle.clear();
                     for &v in &values {
                         if let Some(target) = self.scd.predict_and_track(v) {
                             for line in target.lines() {
@@ -515,22 +546,25 @@ impl NvrPrefetcher {
                             }
                         }
                     }
-                    self.vmig.push_bundle_scored(bundle);
+                    self.vmig.push_bundle_scored(bundle.drain(..));
+                    self.scratch_bundle = bundle;
                     self.windows[i].phase = Phase::Resolve {
                         window,
                         next_elem: group_end,
                     };
                 }
+                self.scratch_values = values;
                 StepOutcome::Worked
             }
             Phase::ProbeWait {
                 window,
                 next_elem,
-                probes,
+                mut probes,
                 ..
             } => {
                 let scoring = self.scoring_active();
-                let mut bundle = Vec::with_capacity(probes.len());
+                let mut bundle = std::mem::take(&mut self.scratch_bundle);
+                bundle.clear();
                 for probe in &probes {
                     let slot = image.read_u32(*probe);
                     if let Some(target) = self.scd.predict_and_track(slot) {
@@ -540,7 +574,11 @@ impl NvrPrefetcher {
                         }
                     }
                 }
-                self.vmig.push_bundle_scored(bundle);
+                self.vmig.push_bundle_scored(bundle.drain(..));
+                self.scratch_bundle = bundle;
+                // Return the consumed probe buffer to the arena.
+                probes.clear();
+                self.probe_pool.push(probes);
                 self.windows[i].phase = Phase::Resolve { window, next_elem };
                 StepOutcome::Worked
             }
@@ -655,25 +693,53 @@ impl Prefetcher for NvrPrefetcher {
                 false
             };
             let outcome = self.step(snoop, image, mem);
+            // Event-driven ticking: a cycle where the thread cannot progress
+            // (`Blocked`/`Idle`) and the VIGU issued nothing is *provably
+            // repeatable* — a zero-line issue pass leaves the queue holding
+            // only deferred (channel-full) or slot-starved lines, the
+            // residency filter is time-independent, and no window becomes
+            // ready before the reported wake-up — so the clock jumps
+            // straight to the earliest event that can change anything: the
+            // blocking fill, a speculative-MSHR completion, or a channel
+            // queue position opening (`next_prefetch_wakeup`). The skipped
+            // cycles would each have re-walked the queue and re-scanned the
+            // windows to do nothing.
             match outcome {
                 StepOutcome::Worked => {
                     self.clock += 1;
                 }
                 StepOutcome::Blocked(until) => {
-                    if issued || !self.vmig.is_empty() {
+                    if issued {
                         // Keep draining the queue cycle by cycle while the
                         // thread waits on its fill.
                         self.clock += 1;
-                    } else {
+                    } else if self.vmig.is_empty() {
                         // Nothing to issue: fast-forward to the fill.
                         self.clock = until.min(to).max(self.clock + 1);
+                    } else {
+                        // Queue stuck behind back-pressure: fast-forward to
+                        // the fill or the first issue opportunity, whichever
+                        // is sooner.
+                        let wake = mem
+                            .next_prefetch_wakeup(self.clock)
+                            .map_or(until, |w| w.min(until));
+                        self.clock = wake.min(to).max(self.clock + 1);
                     }
                 }
                 StepOutcome::Idle => {
-                    if !issued && self.vmig.is_empty() {
+                    if issued {
+                        self.clock += 1;
+                    } else if self.vmig.is_empty() {
                         break;
+                    } else {
+                        // No thread work at all, queue stuck: only a memory-
+                        // side event can unstick it.
+                        let wake = mem.next_prefetch_wakeup(self.clock);
+                        self.clock = match wake {
+                            Some(w) => w.min(to).max(self.clock + 1),
+                            None => self.clock + 1,
+                        };
                     }
-                    self.clock += 1;
                 }
             }
         }

@@ -20,9 +20,9 @@
 //! the rolling window is a fixed-size FIFO, so identical runs produce
 //! bit-identical reports regardless of host parallelism.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::VecDeque;
 
-use nvr_common::Cycle;
+use nvr_common::FlatMap;
 use nvr_mem::{MemorySystem, PrefetchLifeEvent};
 use nvr_prefetch::TimelinessReport;
 
@@ -48,8 +48,9 @@ use nvr_prefetch::TimelinessReport;
 #[derive(Debug, Clone)]
 pub struct LifetimeTracker {
     /// Issue cycle of prefetches with no observed outcome yet, keyed by
-    /// line index (BTreeMap for deterministic iteration).
-    pending: BTreeMap<u64, Cycle>,
+    /// line index ([`FlatMap`]: deterministic, and cheap enough for the
+    /// one-op-per-lifetime-event rate this sustains).
+    pending: FlatMap,
     /// Accumulated outcome counts and the slack histogram.
     report: TimelinessReport,
     /// Outcomes of the most recent resolved prefetches.
@@ -60,6 +61,10 @@ pub struct LifetimeTracker {
     recent_late: usize,
     /// Capacity of the rolling window.
     window: usize,
+    /// Reusable drain buffer, exchanged with the memory system's event log
+    /// each [`LifetimeTracker::drain`] so the steady state recycles two
+    /// allocations instead of allocating a fresh log per drain.
+    scratch: Vec<PrefetchLifeEvent>,
 }
 
 /// Resolved outcome of one prefetch, for the rolling window.
@@ -79,21 +84,25 @@ impl LifetimeTracker {
     #[must_use]
     pub fn new(window: usize) -> Self {
         LifetimeTracker {
-            pending: BTreeMap::new(),
+            pending: FlatMap::new(),
             report: TimelinessReport::default(),
             recent: VecDeque::with_capacity(window.max(1)),
             recent_wasted: 0,
             recent_late: 0,
             window: window.max(1),
+            scratch: Vec::new(),
         }
     }
 
     /// Drains and ingests every lifetime event the memory system recorded
     /// since the last call.
     pub fn drain(&mut self, mem: &mut MemorySystem) {
-        for event in mem.take_prefetch_life_events() {
+        let mut buf = std::mem::take(&mut self.scratch);
+        mem.swap_prefetch_life_events(&mut buf);
+        for event in buf.drain(..) {
             self.ingest(event);
         }
+        self.scratch = buf;
     }
 
     /// Ingests one lifetime event.
@@ -110,7 +119,7 @@ impl LifetimeTracker {
                 self.report.queue_delay.record(queue_delay);
             }
             PrefetchLifeEvent::FirstUse { line, at, late } => {
-                if let Some(issued) = self.pending.remove(&line.index()) {
+                if let Some(issued) = self.pending.remove(line.index()) {
                     self.report.slack.record(at.saturating_sub(issued));
                     if late {
                         self.report.late += 1;
@@ -122,7 +131,7 @@ impl LifetimeTracker {
                 }
             }
             PrefetchLifeEvent::EvictedUnused { line, at: _ } => {
-                if self.pending.remove(&line.index()).is_some() {
+                if self.pending.remove(line.index()).is_some() {
                     self.report.evicted_unused += 1;
                     self.push_outcome(Outcome::Wasted);
                 }
@@ -200,7 +209,7 @@ impl LifetimeTracker {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use nvr_common::LineAddr;
+    use nvr_common::{Cycle, LineAddr};
 
     fn issued(i: u64, at: Cycle) -> PrefetchLifeEvent {
         PrefetchLifeEvent::Issued {

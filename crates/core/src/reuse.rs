@@ -12,11 +12,12 @@
 //! the NSB's [`nvr_mem::RetentionPolicy::ScoredReuse`] policy admits,
 //! rejects (shrinks) and evicts on it.
 //!
-//! Determinism: the predictor is a [`BTreeMap`] keyed by line index with
-//! a fixed decay epoch — no hashing, no clocks — so identical runs
-//! produce identical scores.
-
-use std::collections::BTreeMap;
+//! Determinism: the predictor is an open-addressing table keyed by line
+//! index under a fixed hash (the splitmix64 finaliser) with a fixed decay
+//! epoch — no [`std::collections::HashMap`] randomised state, no clocks —
+//! so identical runs produce identical scores. The table form matters for
+//! speed: `observe` runs once per resolved target line, and a pointer-
+//! chasing map on that path dominated the NSB configurations' wall time.
 
 use nvr_common::LineAddr;
 
@@ -28,6 +29,14 @@ use nvr_common::LineAddr;
 /// at 16 lanes: long enough to span the lookahead horizon, short enough
 /// to track tile phases.
 const DECAY_EPOCH: u32 = 4096;
+
+/// Initial slot count; must be a power of two.
+const INITIAL_SLOTS: usize = 1024;
+
+/// An unoccupied slot's key marker. Line indices are byte addresses
+/// shifted down by the line-size log, so `u64::MAX` cannot collide with a
+/// real key.
+const EMPTY: u64 = u64::MAX;
 
 /// Counts resolved-target touches per line inside a decaying horizon.
 ///
@@ -43,11 +52,39 @@ const DECAY_EPOCH: u32 = 4096;
 /// assert_eq!(p.score(LineAddr::new(7)), 2);
 /// assert_eq!(p.score(LineAddr::new(8)), 0);
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct ReusePredictor {
-    counts: BTreeMap<u64, u32>,
+    /// Line-index keys (`EMPTY` marks a free slot); linear probing from
+    /// the key's hash, power-of-two capacity.
+    keys: Vec<u64>,
+    /// Touch counts parallel to `keys`.
+    counts: Vec<u32>,
+    /// Occupied slots.
+    len: usize,
     /// Observations since the last decay step.
     since_decay: u32,
+}
+
+impl Default for ReusePredictor {
+    fn default() -> Self {
+        ReusePredictor {
+            keys: vec![EMPTY; INITIAL_SLOTS],
+            counts: vec![0; INITIAL_SLOTS],
+            len: 0,
+            since_decay: 0,
+        }
+    }
+}
+
+/// The splitmix64 finaliser: a fixed, statistically strong mix from line
+/// index to probe start.
+fn hash(key: u64) -> u64 {
+    let mut h = key;
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94d0_49bb_1331_11eb);
+    h ^ (h >> 31)
 }
 
 impl ReusePredictor {
@@ -66,29 +103,93 @@ impl ReusePredictor {
             self.decay();
             self.since_decay = 0;
         }
-        let c = self.counts.entry(line.index()).or_insert(0);
-        *c = c.saturating_add(1);
-        *c
+        // Keep the load factor under 1/2 so probe chains stay short.
+        if (self.len + 1) * 2 > self.keys.len() {
+            self.grow();
+        }
+        let mask = self.keys.len() - 1;
+        let key = line.index();
+        let mut slot = (hash(key) as usize) & mask;
+        loop {
+            if self.keys[slot] == key {
+                self.counts[slot] = self.counts[slot].saturating_add(1);
+                return self.counts[slot];
+            }
+            if self.keys[slot] == EMPTY {
+                self.keys[slot] = key;
+                self.counts[slot] = 1;
+                self.len += 1;
+                return 1;
+            }
+            slot = (slot + 1) & mask;
+        }
     }
 
     /// The current score of `line` (0 if never observed this horizon).
     #[must_use]
     pub fn score(&self, line: LineAddr) -> u32 {
-        self.counts.get(&line.index()).copied().unwrap_or(0)
+        let mask = self.keys.len() - 1;
+        let key = line.index();
+        let mut slot = (hash(key) as usize) & mask;
+        loop {
+            if self.keys[slot] == key {
+                return self.counts[slot];
+            }
+            if self.keys[slot] == EMPTY {
+                return 0;
+            }
+            slot = (slot + 1) & mask;
+        }
     }
 
     /// Lines currently holding a non-zero score.
     #[must_use]
     pub fn tracked(&self) -> usize {
-        self.counts.len()
+        self.len
     }
 
-    /// Halves every count, dropping exhausted entries.
+    /// Halves every count, dropping exhausted entries. Rebuilds the table
+    /// (deletion under linear probing would otherwise need backward
+    /// shifting); runs once per [`DECAY_EPOCH`] observations, so the
+    /// rebuild amortises to a fraction of an observe.
     fn decay(&mut self) {
-        self.counts.retain(|_, c| {
-            *c /= 2;
-            *c > 0
-        });
+        let old_keys = std::mem::take(&mut self.keys);
+        let old_counts = std::mem::take(&mut self.counts);
+        self.keys = vec![EMPTY; old_keys.len()];
+        self.counts = vec![0; old_keys.len()];
+        self.len = 0;
+        let mask = self.keys.len() - 1;
+        for (key, count) in old_keys.into_iter().zip(old_counts) {
+            if key == EMPTY || count / 2 == 0 {
+                continue;
+            }
+            let mut slot = (hash(key) as usize) & mask;
+            while self.keys[slot] != EMPTY {
+                slot = (slot + 1) & mask;
+            }
+            self.keys[slot] = key;
+            self.counts[slot] = count / 2;
+            self.len += 1;
+        }
+    }
+
+    /// Doubles the slot count, rehashing every occupied entry.
+    fn grow(&mut self) {
+        let new_cap = self.keys.len() * 2;
+        let old_keys = std::mem::replace(&mut self.keys, vec![EMPTY; new_cap]);
+        let old_counts = std::mem::replace(&mut self.counts, vec![0; new_cap]);
+        let mask = new_cap - 1;
+        for (key, count) in old_keys.into_iter().zip(old_counts) {
+            if key == EMPTY {
+                continue;
+            }
+            let mut slot = (hash(key) as usize) & mask;
+            while self.keys[slot] != EMPTY {
+                slot = (slot + 1) & mask;
+            }
+            self.keys[slot] = key;
+            self.counts[slot] = count;
+        }
     }
 }
 
@@ -150,10 +251,32 @@ mod tests {
     fn saturates_instead_of_overflowing() {
         let mut p = ReusePredictor::new();
         let mut c = ReusePredictor::new();
-        c.counts.insert(5, u32::MAX);
-        c.since_decay = 0;
+        for _ in 0..3 {
+            c.observe(LineAddr::new(5));
+        }
+        // Force the stored count to the ceiling, then observe once more.
+        for count in &mut c.counts {
+            if *count > 0 {
+                *count = u32::MAX;
+            }
+        }
         assert_eq!(c.observe(LineAddr::new(5)), u32::MAX);
         // Normal path still exact.
         assert_eq!(p.observe(LineAddr::new(5)), 1);
+    }
+
+    #[test]
+    fn growth_preserves_scores() {
+        let mut p = ReusePredictor::new();
+        // Insert enough distinct lines to force several growth rebuilds
+        // (staying under one decay epoch), then verify every score.
+        for i in 0..2000u64 {
+            p.observe(LineAddr::new(i));
+            p.observe(LineAddr::new(i));
+        }
+        assert_eq!(p.tracked(), 2000);
+        for i in 0..2000u64 {
+            assert_eq!(p.score(LineAddr::new(i)), 2, "line {i}");
+        }
     }
 }

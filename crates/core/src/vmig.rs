@@ -9,7 +9,7 @@
 //! current bundle window), and each `issue` call drains up to N lines as
 //! one vector prefetch.
 
-use nvr_common::{Cycle, LineAddr};
+use nvr_common::{Cycle, FlatMap, LineAddr};
 use nvr_mem::MemorySystem;
 
 /// The VMIG issue stage.
@@ -29,9 +29,13 @@ use nvr_mem::MemorySystem;
 #[derive(Debug, Clone)]
 pub struct Vmig {
     width: usize,
-    /// Queued target lines with their predicted-reuse scores (0 for
-    /// unscored traffic, e.g. index stream-ahead lines).
-    queue: Vec<(LineAddr, u32)>,
+    /// Queued target lines in arrival order.
+    queue: Vec<LineAddr>,
+    /// Predicted-reuse score per queued line (0 for unscored traffic,
+    /// e.g. index stream-ahead lines), keyed by line index. Doubles as
+    /// the dedup set: membership here means the line is in `queue`, so a
+    /// push is one probe instead of a queue scan.
+    scores: FlatMap,
     /// DARE-style NSB admission threshold ([`crate::NvrConfig::nsb_admit_min_reuse`]):
     /// when non-zero, a line's full predicted-reuse score earns retention
     /// priority only once it reaches the threshold; lines below it are
@@ -60,6 +64,7 @@ impl Vmig {
         Vmig {
             width,
             queue: Vec::new(),
+            scores: FlatMap::new(),
             nsb_admit: 0,
             vectors_issued: 0,
             lines_issued: 0,
@@ -77,9 +82,16 @@ impl Vmig {
     /// keeps the *maximum* score seen for the line — a line wanted by two
     /// bundles is more reusable, not less.
     pub fn push_scored(&mut self, line: LineAddr, score: u32) {
-        match self.queue.iter_mut().find(|(l, _)| *l == line) {
-            Some(entry) => entry.1 = entry.1.max(score),
-            None => self.queue.push((line, score)),
+        match self.scores.get(line.index()) {
+            Some(old) => {
+                if u64::from(score) > old {
+                    self.scores.insert(line.index(), u64::from(score));
+                }
+            }
+            None => {
+                self.scores.insert(line.index(), u64::from(score));
+                self.queue.push(line);
+            }
         }
     }
 
@@ -164,23 +176,54 @@ impl Vmig {
         }
         let mut taken = 0;
         let mut issued = 0;
-        let mut deferred = Vec::new();
+        // Deferred entries are compacted in place at the front of the queue
+        // (`kept` trails `taken`, so the writes never clobber unread
+        // entries) — the post-issue queue is deferred lines in order
+        // followed by the untouched tail, with no per-call allocation.
+        let mut kept = 0;
+        // Channel-readiness memo for this call: a channel's answer only
+        // changes when a line issues onto it, so a deferred run of
+        // same-channel lines costs one queue walk instead of one each.
+        const MEMO_CHANNELS: usize = 32;
+        let mut chan_ready = [None::<bool>; MEMO_CHANNELS];
         while issued < cap && taken < self.queue.len() {
-            let (line, score) = self.queue[taken];
+            let line = self.queue[taken];
             taken += 1;
-            if !fill_nsb && mem.npu_side_contains(line) {
-                self.lines_filtered += 1;
-                continue;
-            }
             // The channel gate only applies to lines that would actually
             // fetch: an on-chip line (possible in NSB mode, where the
-            // residency filter above is skipped) needs at most an NSB
-            // promotion and never touches the DRAM channel.
-            if !mem.prefetch_channel_ready(line, now) && !mem.npu_side_contains(line) {
+            // residency filter is skipped) needs at most an NSB promotion
+            // and never touches the DRAM channel. In filtered mode a line
+            // that survives the residency probe is known off-chip, so the
+            // gate is the channel check alone.
+            let ch = mem.channel_of(line);
+            let ready = match chan_ready.get(ch).copied().flatten() {
+                Some(r) => r,
+                None => {
+                    let r = mem.prefetch_channel_ready(line, now);
+                    if let Some(slot) = chan_ready.get_mut(ch) {
+                        *slot = Some(r);
+                    }
+                    r
+                }
+            };
+            let deferred = if fill_nsb {
+                !ready && !mem.npu_side_contains(line)
+            } else {
+                if mem.npu_side_contains(line) {
+                    self.lines_filtered += 1;
+                    self.scores.remove(line.index());
+                    continue;
+                }
+                !ready
+            };
+            if deferred {
                 self.lines_deferred += 1;
-                deferred.push((line, score));
+                self.queue[kept] = line;
+                kept += 1;
                 continue;
             }
+            // nvr-lint: allow(overflow/lossy-cast) reason="scores map only ever stores u64::from(u32) values"
+            let score = self.scores.remove(line.index()).map_or(0, |s| s as u32);
             // DARE-style admission: with an active threshold, a line's
             // predicted reuse earns retention priority only once it
             // clears the threshold; below it the line carries no score.
@@ -202,9 +245,14 @@ impl Vmig {
                 (score, score)
             };
             mem.prefetch_line_scored(line, now, fill_nsb, pinned, nsb_score);
+            // The issue may have queued onto (or promoted within) this
+            // line's channel: drop its memo entry.
+            if let Some(slot) = chan_ready.get_mut(ch) {
+                *slot = None;
+            }
             issued += 1;
         }
-        self.queue.splice(..taken, deferred);
+        self.queue.drain(kept..taken);
         issued
     }
 
@@ -351,7 +399,8 @@ mod tests {
         v.push_scored(LineAddr::new(5), 3);
         v.push_scored(LineAddr::new(5), 2);
         assert_eq!(v.pending(), 1);
-        assert_eq!(v.queue[0], (LineAddr::new(5), 3));
+        assert_eq!(v.queue[0], LineAddr::new(5));
+        assert_eq!(v.scores.get(LineAddr::new(5).index()), Some(3));
     }
 
     #[test]

@@ -25,7 +25,7 @@ use crate::rules::{AllowData, FileAnalysis};
 /// Bump on any change to the lexer, the item parser, the token rules or
 /// this file's encoding: stale pass-1 results must never survive a
 /// `nvr-lint` upgrade.
-pub const CACHE_VERSION: u32 = 1;
+pub const CACHE_VERSION: u32 = 2;
 
 /// One cached file: content fingerprint plus its pass-1 analysis.
 #[derive(Debug, Clone)]

@@ -28,6 +28,10 @@ pub enum Rule {
     /// `unwrap()`/`expect()` in controller/cache/DRAM tick code must carry
     /// a justification (an audited allow).
     PanicHotLoop,
+    /// No per-iteration `Vec`/`String`/`Box` allocation inside the named
+    /// tick/advance loops of `nvr_core`/`nvr_mem` — the allocator in a
+    /// per-cycle loop multiplies every sweep's wall clock.
+    HotLoopAlloc,
     /// Every crate root must carry `#![forbid(unsafe_code)]`.
     UnsafeForbid,
     /// Every crate root must carry `#![deny(missing_docs)]`.
@@ -66,12 +70,13 @@ pub enum Rule {
 
 impl Rule {
     /// Every rule, in catalogue order.
-    pub const ALL: [Rule; 16] = [
+    pub const ALL: [Rule; 17] = [
         Rule::OrderedContainers,
         Rule::WallClock,
         Rule::ThreadState,
         Rule::LossyCast,
         Rule::PanicHotLoop,
+        Rule::HotLoopAlloc,
         Rule::UnsafeForbid,
         Rule::DocsDenyMissing,
         Rule::KnobDoc,
@@ -94,6 +99,7 @@ impl Rule {
             Rule::ThreadState => "determinism/thread-state",
             Rule::LossyCast => "overflow/lossy-cast",
             Rule::PanicHotLoop => "panic/hot-loop",
+            Rule::HotLoopAlloc => "perf/hot-loop-alloc",
             Rule::UnsafeForbid => "unsafe/forbid",
             Rule::DocsDenyMissing => "docs/deny-missing",
             Rule::KnobDoc => "config/knob-doc",
@@ -123,6 +129,10 @@ impl Rule {
             }
             Rule::PanicHotLoop => {
                 "unwrap()/expect() in controller/cache/DRAM code needs a justification"
+            }
+            Rule::HotLoopAlloc => {
+                "no per-iteration Vec/String/Box allocation inside named \
+                 tick/advance loops of core/mem"
             }
             Rule::UnsafeForbid => "crate roots must carry #![forbid(unsafe_code)]",
             Rule::DocsDenyMissing => "crate roots must carry #![deny(missing_docs)]",
@@ -216,6 +226,19 @@ impl Rule {
                  parallel sweep, losing every in-flight figure.\nFix: return an \
                  error or restructure; where the invariant is airtight, document it \
                  via `allow(panic/hot-loop) reason=\"...\"`."
+            }
+            Rule::HotLoopAlloc => {
+                "The simulator's throughput budget is set by the per-cycle loops in \
+                 crates/core and crates/mem (tick/advance/step/issue/probe/install \
+                 and friends). A Vec::new, String::from, format!, Box::new or \
+                 .collect() inside such a loop's body calls the allocator once per \
+                 iteration — the exact pattern the SoA/batching rework removed, and \
+                 the one the perf CI gate exists to catch after the fact.\nFix: hoist \
+                 the allocation out of the loop and reuse the buffer (clear(), \
+                 swap-style drains), or size it once with with_capacity; where a \
+                 per-iteration allocation is genuinely cold (error paths, logging \
+                 that is off by default), justify it with \
+                 `allow(perf/hot-loop-alloc) reason=\"...\"`."
             }
             Rule::UnsafeForbid => {
                 "Every crate root must carry #![forbid(unsafe_code)]: the simulator \

@@ -54,6 +54,14 @@ const HOT_LOOP_FILES: [&str; 4] = [
     "crates/mem/src/hierarchy.rs",
 ];
 
+/// Function-name markers for the simulator's per-cycle entry points in
+/// `crates/core`/`crates/mem`: a `for`/`while`/`loop` body inside a
+/// function whose name contains one of these is a hot loop, where a
+/// per-iteration allocation multiplies every sweep's wall clock.
+const HOT_FN_MARKERS: [&str; 7] = [
+    "tick", "advance", "step", "issue", "probe", "install", "progress",
+];
+
 /// Files holding the config structs whose fields the knob-doc rule covers.
 const KNOB_FILES: [&str; 3] = [
     "crates/core/src/config.rs",
@@ -124,6 +132,7 @@ pub fn analyze_source(rel: &str, src: &str) -> FileAnalysis {
     check_thread_state(rel, &lexed, &mut findings);
     check_lossy_cast(rel, &lexed, &test_lines, &mut findings);
     check_panic_hot_loop(rel, &lexed, &test_lines, &mut findings);
+    check_hot_loop_alloc(rel, &lexed, &test_lines, &mut findings);
     check_crate_root_attrs(rel, &lexed, &mut findings);
     check_knob_doc(rel, src, &mut findings);
     check_csv_schema(rel, &lexed, &mut findings);
@@ -456,6 +465,135 @@ fn check_panic_hot_loop(
                 ),
             );
         }
+    }
+}
+
+/// The first `{` at or after `from` together with its matching `}`, as
+/// token indices. Returns `None` when a `;` arrives first (no block — a
+/// trait-method signature) or the braces never balance.
+fn brace_block(toks: &[Tok], from: usize) -> Option<(usize, usize)> {
+    let mut i = from;
+    while i < toks.len() && !tok_is(&toks[i], "{") {
+        if tok_is(&toks[i], ";") {
+            return None;
+        }
+        i += 1;
+    }
+    let open = i;
+    let mut depth = 0i64;
+    while i < toks.len() {
+        match toks[i].kind {
+            TokKind::Punct('{') => depth += 1,
+            TokKind::Punct('}') => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some((open, i));
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Flags per-iteration `Vec`/`String`/`Box` allocation (constructors,
+/// `vec!`/`format!`, `.to_vec()`/`.to_string()`/`.to_owned()`/
+/// `.collect()`) inside `for`/`while`/`loop` bodies of the named hot
+/// functions of `crates/core`/`crates/mem`.
+fn check_hot_loop_alloc(
+    rel: &str,
+    lexed: &Lexed,
+    test_lines: &[(u32, u32)],
+    diags: &mut Vec<Diagnostic>,
+) {
+    if !(rel.starts_with("crates/core/") || rel.starts_with("crates/mem/")) {
+        return;
+    }
+    let toks = &lexed.toks;
+    // Body spans of the hot functions (token index ranges).
+    let mut hot_spans: Vec<(usize, usize)> = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let is_hot_fn = ident_is(&toks[i], "fn")
+            && toks.get(i + 1).is_some_and(|t| {
+                t.kind == TokKind::Ident && HOT_FN_MARKERS.iter().any(|m| t.text.contains(m))
+            })
+            && !in_ranges(test_lines, toks[i].line);
+        if is_hot_fn {
+            if let Some(span) = brace_block(toks, i + 2) {
+                hot_spans.push(span);
+            }
+        }
+        i += 1;
+    }
+    // Loop bodies inside those functions.
+    let mut loop_spans: Vec<(usize, usize)> = Vec::new();
+    for &(fs, fe) in &hot_spans {
+        for j in fs..=fe {
+            let is_loop = toks[j].kind == TokKind::Ident
+                && matches!(toks[j].text.as_str(), "for" | "while" | "loop");
+            if is_loop {
+                if let Some((open, close)) = brace_block(toks, j + 1) {
+                    if close <= fe {
+                        loop_spans.push((open, close));
+                    }
+                }
+            }
+        }
+    }
+    // Allocation sites, deduplicated by token index (nested loops overlap).
+    let mut flagged: Vec<usize> = Vec::new();
+    for &(ls, le) in &loop_spans {
+        for k in ls..=le {
+            let Some(what) = alloc_site(toks, k) else {
+                continue;
+            };
+            if flagged.contains(&k) {
+                continue;
+            }
+            flagged.push(k);
+            push(
+                diags,
+                Rule::HotLoopAlloc,
+                rel,
+                toks[k].line,
+                format!(
+                    "{what} allocates on every iteration of a hot tick/advance loop; \
+                     hoist the buffer out of the loop and reuse it, or justify a \
+                     genuinely cold path with an allow"
+                ),
+            );
+        }
+    }
+}
+
+/// `Some(description)` when the token at `k` starts an allocating
+/// expression: a `Vec`/`String`/`Box` constructor, a `vec!`/`format!`
+/// invocation, or an allocating method call.
+fn alloc_site(toks: &[Tok], k: usize) -> Option<String> {
+    let t = &toks[k];
+    if t.kind != TokKind::Ident {
+        return None;
+    }
+    match t.text.as_str() {
+        "Vec" | "String" | "Box" => {
+            let path = tok_is(toks.get(k + 1)?, ":") && tok_is(toks.get(k + 2)?, ":");
+            let m = toks.get(k + 3)?;
+            let ctor = m.kind == TokKind::Ident
+                && matches!(m.text.as_str(), "new" | "from" | "with_capacity");
+            (path && ctor).then(|| format!("`{}::{}`", t.text, m.text))
+        }
+        "vec" | "format" if tok_is(toks.get(k + 1)?, "!") => Some(format!("`{}!`", t.text)),
+        "to_string" | "to_owned" | "to_vec" | "collect" => {
+            let method_call = k > 0
+                && tok_is(&toks[k - 1], ".")
+                && toks
+                    .get(k + 1)
+                    .is_some_and(|n| tok_is(n, "(") || tok_is(n, ":"));
+            method_call.then(|| format!("`.{}()`", t.text))
+        }
+        _ => None,
     }
 }
 

@@ -89,6 +89,32 @@ fn panic_in_test_module_is_exempt() {
 }
 
 #[test]
+fn hot_loop_alloc_bad_fires_per_site() {
+    let src = include_str!("fixtures/hot_loop_alloc_bad.rs");
+    let diags = lint_source("crates/mem/src/cache.rs", src);
+    assert_eq!(diags.len(), 4, "one finding per allocation site: {diags:?}");
+    assert!(diags.iter().all(|d| d.rule == Rule::HotLoopAlloc));
+    // The message names the allocating expression.
+    assert!(diags.iter().any(|d| d.message.contains("`Vec::new`")));
+    assert!(diags.iter().any(|d| d.message.contains("`format!`")));
+    assert!(diags.iter().any(|d| d.message.contains("`.to_vec()`")));
+    assert!(diags.iter().any(|d| d.message.contains("`Box::new`")));
+}
+
+#[test]
+fn hot_loop_alloc_good_is_clean() {
+    let src = include_str!("fixtures/hot_loop_alloc_good.rs");
+    assert_eq!(fired("crates/core/src/controller.rs", src), []);
+}
+
+#[test]
+fn hot_loop_alloc_ignored_outside_core_and_mem() {
+    let src = include_str!("fixtures/hot_loop_alloc_bad.rs");
+    assert_eq!(fired("crates/sim/src/sweep.rs", src), []);
+    assert_eq!(fired("crates/bench/src/bin/perf.rs", src), []);
+}
+
+#[test]
 fn crate_root_missing_attrs_fires() {
     let src = include_str!("fixtures/crate_root_bad.rs");
     let rules = fired("crates/core/src/lib.rs", src);

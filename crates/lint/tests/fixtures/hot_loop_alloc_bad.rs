@@ -1,0 +1,25 @@
+// Fixture: per-iteration allocation inside the named hot loops of
+// core/mem — every site below must fire `perf/hot-loop-alloc`.
+
+pub fn advance(&mut self, now: u64) {
+    for lane in 0..self.lanes {
+        let scratch: Vec<u64> = Vec::new(); // fires: constructor per iteration
+        let label = format!("lane-{lane}"); // fires: format! per iteration
+        self.observe(scratch, label);
+    }
+    let mut i = 0;
+    while i < now {
+        let copy = self.pending.to_vec(); // fires: .to_vec() per iteration
+        self.consume(copy);
+        i += 1;
+    }
+}
+
+pub fn issue_window(&mut self) {
+    loop {
+        let boxed = Box::new(self.head); // fires: Box::new per iteration
+        if self.push(boxed) {
+            break;
+        }
+    }
+}

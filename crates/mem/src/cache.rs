@@ -70,24 +70,12 @@ pub enum ProbeResult {
     Miss,
 }
 
-#[derive(Debug, Clone, Copy, Default)]
-struct Way {
-    tag: u64,
-    valid: bool,
-    /// Cycle at which the fill completes; `<= now` means filled.
-    fill_done: Cycle,
-    /// LRU timestamp.
-    last_use: Cycle,
-    /// Whether the fill was initiated by a prefetch.
-    from_prefetch: bool,
-    /// Whether a demand access touched the line since its fill.
-    demanded: bool,
-    /// Predicted-reuse score under [`RetentionPolicy::ScoredReuse`]: how
-    /// many more demand touches the producer expects for this line. Decays
-    /// by one per demand hit and ages on rejected fills; always 0 under
-    /// [`RetentionPolicy::Lru`].
-    reuse: u32,
-}
+/// Per-way state bits packed into one byte of the SoA `flags` array.
+const F_VALID: u8 = 1 << 0;
+/// Whether the fill was initiated by a prefetch.
+const F_PREFETCH: u8 = 1 << 1;
+/// Whether a demand access touched the line since its fill.
+const F_DEMANDED: u8 = 1 << 2;
 
 /// A non-blocking set-associative cache level.
 ///
@@ -100,6 +88,15 @@ struct Way {
 /// [`Cache::mshr_free_at`] tells the caller when an MSHR slot frees up, so
 /// demand accesses stall (and prefetches drop) when the file is full, as in
 /// §IV-F–G of the paper.
+///
+/// # Layout
+///
+/// Way metadata lives in dense structure-of-arrays form: parallel vectors
+/// (`tags`, `fill_done`, `last_use`, `reuse`, `flags`), each indexed by
+/// `set * ways + way`. A probe touches only the `flags`/`tags` lanes until
+/// it finds its way, so the tag scan streams through two tightly packed
+/// arrays instead of striding across per-way structs — and there is no
+/// per-set `Vec` indirection on the hot path.
 ///
 /// # Examples
 ///
@@ -117,9 +114,29 @@ struct Way {
 #[derive(Debug, Clone)]
 pub struct Cache {
     cfg: CacheConfig,
-    sets: Vec<Vec<Way>>,
+    ways: usize,
     n_sets: u64,
-    /// Completion cycles of outstanding fills (the MSHR file).
+    /// `n_sets - 1` when the set count is a power of two (the usual
+    /// geometry), letting the per-probe `%`/`/` pair collapse to mask and
+    /// shift; `u64::MAX` marks the division fallback.
+    set_mask: u64,
+    /// `log2(n_sets)` when the set count is a power of two.
+    set_shift: u32,
+    /// SoA way metadata, indexed by `set * ways + way`.
+    tags: Vec<u64>,
+    /// Cycle at which each way's fill completes; `<= now` means filled.
+    fill_done: Vec<Cycle>,
+    /// LRU timestamps.
+    last_use: Vec<Cycle>,
+    /// Predicted-reuse scores under [`RetentionPolicy::ScoredReuse`]: how
+    /// many more demand touches the producer expects for the line. Decays
+    /// by one per demand hit and ages on rejected fills; always 0 under
+    /// [`RetentionPolicy::Lru`].
+    reuse: Vec<u32>,
+    /// Validity/provenance bits (`F_VALID | F_PREFETCH | F_DEMANDED`).
+    flags: Vec<u8>,
+    /// Completion cycles of outstanding fills (the MSHR file), kept in
+    /// ascending order so occupancy questions are binary searches.
     inflight: Vec<Cycle>,
     stats: CacheStats,
     /// Per-prefetch lifetime events, recorded only when a consumer enabled
@@ -139,9 +156,22 @@ impl Cache {
         // nvr-lint: allow(panic/hot-loop) reason="init-time config validation in the constructor, outside the tick loop"
         cfg.validate().expect("cache config must be valid");
         let sets = cfg.sets();
+        let slots = (sets * cfg.ways) as usize;
+        let (set_mask, set_shift) = if sets.is_power_of_two() {
+            (sets - 1, sets.trailing_zeros())
+        } else {
+            (u64::MAX, 0)
+        };
         Cache {
+            ways: cfg.ways as usize,
             n_sets: sets,
-            sets: vec![vec![Way::default(); cfg.ways as usize]; sets as usize],
+            set_mask,
+            set_shift,
+            tags: vec![0; slots],
+            fill_done: vec![0; slots],
+            last_use: vec![0; slots],
+            reuse: vec![0; slots],
+            flags: vec![0; slots],
             inflight: Vec::with_capacity(cfg.mshr_entries),
             stats: CacheStats::new(cfg.name),
             life_log: None,
@@ -150,9 +180,9 @@ impl Cache {
     }
 
     /// Starts recording [`PrefetchLifeEvent`]s. Idempotent; events
-    /// accumulate until drained with [`Cache::take_life_events`], so only
-    /// consumers that drain regularly (e.g. a runahead controller's
-    /// `advance` loop) should enable it.
+    /// accumulate until drained with [`Cache::take_life_events`] or
+    /// [`Cache::swap_life_events`], so only consumers that drain regularly
+    /// (e.g. a runahead controller's `advance` loop) should enable it.
     pub fn enable_life_log(&mut self) {
         if self.life_log.is_none() {
             self.life_log = Some(Vec::new());
@@ -165,6 +195,17 @@ impl Cache {
         match &mut self.life_log {
             Some(log) => std::mem::take(log),
             None => Vec::new(),
+        }
+    }
+
+    /// Exchanges the recorded lifetime events with `buf` (which the caller
+    /// keeps cleared between drains), so a steady-state drain cycle reuses
+    /// two allocations forever instead of allocating a fresh log per drain
+    /// the way [`Cache::take_life_events`] does. No-op when the log was
+    /// never enabled.
+    pub fn swap_life_events(&mut self, buf: &mut Vec<PrefetchLifeEvent>) {
+        if let Some(log) = &mut self.life_log {
+            std::mem::swap(log, buf);
         }
     }
 
@@ -187,11 +228,9 @@ impl Cache {
         if self.life_log.is_none() {
             return;
         }
-        let set = self.set_index(line);
-        let tag = self.tag(line);
-        if let Some(w) = self.sets[set].iter().find(|w| w.valid && w.tag == tag) {
-            if w.from_prefetch && !w.demanded {
-                let late = w.fill_done > now;
+        if let Some(i) = self.find_way(line) {
+            if self.flags[i] & (F_PREFETCH | F_DEMANDED) == F_PREFETCH {
+                let late = self.fill_done[i] > now;
                 if let Some(log) = &mut self.life_log {
                     log.push(PrefetchLifeEvent::FirstUse {
                         line,
@@ -215,32 +254,55 @@ impl Cache {
         &self.stats
     }
 
+    #[inline]
     fn set_index(&self, line: LineAddr) -> usize {
-        (line.index() % self.n_sets) as usize
+        if self.set_mask != u64::MAX {
+            (line.index() & self.set_mask) as usize
+        } else {
+            (line.index() % self.n_sets) as usize
+        }
     }
 
+    #[inline]
     fn tag(&self, line: LineAddr) -> u64 {
-        line.index() / self.n_sets
+        if self.set_mask != u64::MAX {
+            line.index() >> self.set_shift
+        } else {
+            line.index() / self.n_sets
+        }
+    }
+
+    /// SoA slot index of `line`'s way, if resident or in flight.
+    #[inline]
+    fn find_way(&self, line: LineAddr) -> Option<usize> {
+        let base = self.set_index(line) * self.ways;
+        let tag = self.tag(line);
+        let tags = &self.tags[base..base + self.ways];
+        let flags = &self.flags[base..base + self.ways];
+        for w in 0..self.ways {
+            if flags[w] & F_VALID != 0 && tags[w] == tag {
+                return Some(base + w);
+            }
+        }
+        None
     }
 
     /// Looks up `line` at cycle `now`. `is_demand` controls statistics and
     /// the `demanded` mark used for prefetch-usefulness accounting.
     pub fn probe(&mut self, line: LineAddr, now: Cycle, is_demand: bool) -> ProbeResult {
-        let set = self.set_index(line);
-        let tag = self.tag(line);
         let hit_latency = self.cfg.hit_latency;
-        let way = self.sets[set].iter_mut().find(|w| w.valid && w.tag == tag);
-        match way {
-            Some(w) => {
-                w.last_use = now;
-                let filled = w.fill_done <= now;
-                let first_demand_of_prefetch = is_demand && w.from_prefetch && !w.demanded;
+        match self.find_way(line) {
+            Some(i) => {
+                self.last_use[i] = now;
+                let filled = self.fill_done[i] <= now;
+                let first_demand_of_prefetch =
+                    is_demand && self.flags[i] & (F_PREFETCH | F_DEMANDED) == F_PREFETCH;
                 if is_demand {
-                    w.demanded = true;
+                    self.flags[i] |= F_DEMANDED;
                     // Each consumption spends one unit of predicted reuse, so
                     // a line whose forecast is exhausted becomes evictable
                     // again (no-op under LRU, where scores are always 0).
-                    w.reuse = w.reuse.saturating_sub(1);
+                    self.reuse[i] = self.reuse[i].saturating_sub(1);
                 }
                 if first_demand_of_prefetch {
                     if let Some(log) = &mut self.life_log {
@@ -262,8 +324,8 @@ impl Cache {
                         ready_at: now + hit_latency,
                     }
                 } else {
-                    let ready_at = w.fill_done.max(now + hit_latency);
-                    let fill_was_prefetch = w.from_prefetch;
+                    let ready_at = self.fill_done[i].max(now + hit_latency);
+                    let fill_was_prefetch = self.flags[i] & F_PREFETCH != 0;
                     if is_demand {
                         self.stats.mshr_merges.inc();
                         if first_demand_of_prefetch {
@@ -290,27 +352,20 @@ impl Cache {
     /// state or statistics. Used by prefetchers to test redundancy.
     #[must_use]
     pub fn contains(&self, line: LineAddr) -> bool {
-        let set = self.set_index(line);
-        let tag = self.tag(line);
-        self.sets[set].iter().any(|w| w.valid && w.tag == tag)
+        self.find_way(line).is_some()
     }
 
     /// Cycle at which `line`'s data is (or becomes) available, if resident,
     /// without touching LRU state or statistics.
     #[must_use]
     pub fn ready_time(&self, line: LineAddr, now: Cycle) -> Option<Cycle> {
-        let set = self.set_index(line);
-        let tag = self.tag(line);
-        self.sets[set]
-            .iter()
-            .find(|w| w.valid && w.tag == tag)
-            .map(|w| w.fill_done.max(now))
+        self.find_way(line).map(|i| self.fill_done[i].max(now))
     }
 
     /// Number of MSHR entries still pending at `now`.
     #[must_use]
     pub fn mshr_pending(&self, now: Cycle) -> usize {
-        self.inflight.iter().filter(|&&c| c > now).count()
+        self.inflight.len() - self.inflight.partition_point(|&c| c <= now)
     }
 
     /// Whether a new fill can be accepted at `now`.
@@ -322,18 +377,21 @@ impl Cache {
     /// Earliest cycle at which an MSHR slot is free.
     ///
     /// Returns `now` when a slot is already free; otherwise the completion
-    /// cycle of the soonest-finishing outstanding fill.
+    /// cycle of the soonest-finishing outstanding fill. The file is kept
+    /// sorted, so this is an index into it — the pending suffix can run to
+    /// thousands of entries under an out-of-order burst, where anything
+    /// super-logarithmic per miss dominates the whole simulation.
     #[must_use]
     pub fn mshr_free_at(&self, now: Cycle) -> Cycle {
-        let pending: Vec<Cycle> = self.inflight.iter().copied().filter(|&c| c > now).collect();
-        if pending.len() < self.cfg.mshr_entries {
-            now
-        } else {
-            let mut sorted = pending;
-            sorted.sort_unstable();
-            // The (len - mshr_entries + 1)-th completion frees the slot.
-            sorted[sorted.len() - self.cfg.mshr_entries]
+        let done = self.inflight.partition_point(|&c| c <= now);
+        let pending = self.inflight.len() - done;
+        if pending < self.cfg.mshr_entries {
+            return now;
         }
+        // The slot frees at the (pending - mshr_entries + 1)-th pending
+        // completion — rank `pending - mshr_entries` (0-based) of the
+        // ascending pending suffix.
+        self.inflight[done + (pending - self.cfg.mshr_entries)]
     }
 
     /// Installs `line` with its data arriving at `fill_done`, allocating an
@@ -381,12 +439,20 @@ impl Cache {
         self.install_inner(line, fill_done, true, now, queue_delay, reuse)
     }
 
-    /// Records an outstanding demand fill, recycling a completed slot.
+    /// Records an outstanding demand fill, dropping completed entries and
+    /// keeping the file sorted. Timestamp-forwarded bursts append strictly
+    /// later completions, so the common case is a pure push.
     fn note_inflight(&mut self, fill_done: Cycle, now: Cycle) {
-        if let Some(slot) = self.inflight.iter_mut().find(|c| **c <= now) {
-            *slot = fill_done;
-        } else {
-            self.inflight.push(fill_done);
+        let done = self.inflight.partition_point(|&c| c <= now);
+        if done > 0 {
+            self.inflight.drain(..done);
+        }
+        match self.inflight.last() {
+            Some(&last) if last > fill_done => {
+                let pos = self.inflight.partition_point(|&c| c <= fill_done);
+                self.inflight.insert(pos, fill_done);
+            }
+            _ => self.inflight.push(fill_done),
         }
     }
 
@@ -401,11 +467,11 @@ impl Cache {
     ) -> bool {
         let set = self.set_index(line);
         let tag = self.tag(line);
-        if let Some(w) = self.sets[set].iter_mut().find(|w| w.valid && w.tag == tag) {
+        if let Some(i) = self.find_way(line) {
             // Refill of a resident line (e.g. prefetch after demand raced in).
-            w.fill_done = w.fill_done.min(fill_done);
-            w.last_use = now;
-            w.reuse = w.reuse.max(reuse);
+            self.fill_done[i] = self.fill_done[i].min(fill_done);
+            self.last_use[i] = now;
+            self.reuse[i] = self.reuse[i].max(reuse);
             if !from_prefetch {
                 self.note_inflight(fill_done, now);
             }
@@ -423,8 +489,7 @@ impl Cache {
                     self.stats.retention_rejected.inc();
                     // Age the weakest resident so a stream of rejections
                     // deterministically drains a stale hot set.
-                    let w = &mut self.sets[set][shrink];
-                    w.reuse = w.reuse.saturating_sub(1);
+                    self.reuse[shrink] = self.reuse[shrink].saturating_sub(1);
                     return false;
                 }
             },
@@ -452,14 +517,13 @@ impl Cache {
                 });
             }
         }
-        let evicted_unused_line = {
-            let w = &self.sets[set][victim];
-            (w.valid && w.from_prefetch && !w.demanded).then(|| self.line_of(set, w.tag))
-        };
-        let w = &mut self.sets[set][victim];
-        if w.valid {
+        let victim_flags = self.flags[victim];
+        let evicted_unused_line = (victim_flags & (F_VALID | F_PREFETCH | F_DEMANDED)
+            == F_VALID | F_PREFETCH)
+            .then(|| self.line_of(set, self.tags[victim]));
+        if victim_flags & F_VALID != 0 {
             self.stats.evictions.inc();
-            if w.from_prefetch && !w.demanded {
+            if victim_flags & (F_PREFETCH | F_DEMANDED) == F_PREFETCH {
                 self.stats.prefetch_evicted_unused.inc();
             }
         }
@@ -471,40 +535,39 @@ impl Cache {
                 });
             }
         }
-        *w = Way {
-            tag,
-            valid: true,
-            fill_done,
-            last_use: now,
-            from_prefetch,
-            demanded: false,
-            reuse,
-        };
+        self.tags[victim] = tag;
+        self.fill_done[victim] = fill_done;
+        self.last_use[victim] = now;
+        self.reuse[victim] = reuse;
+        self.flags[victim] = F_VALID | if from_prefetch { F_PREFETCH } else { 0 };
         true
     }
 
     /// LRU victim, preferring ways whose fill already completed so that
-    /// in-flight fills are not silently clobbered.
+    /// in-flight fills are not silently clobbered. Returns a SoA slot
+    /// index (`set * ways + way`).
     fn pick_victim(&self, set: usize, now: Cycle) -> usize {
-        let ways = &self.sets[set];
-        if let Some((i, _)) = ways.iter().enumerate().find(|(_, w)| !w.valid) {
-            return i;
-        }
-        let filled_lru = ways
-            .iter()
-            .enumerate()
-            .filter(|(_, w)| w.fill_done <= now)
-            .min_by_key(|(_, w)| w.last_use);
-        if let Some((i, _)) = filled_lru {
-            return i;
+        let base = set * self.ways;
+        let mut filled_lru: Option<usize> = None;
+        let mut any_lru: Option<usize> = None;
+        for i in base..base + self.ways {
+            if self.flags[i] & F_VALID == 0 {
+                return i;
+            }
+            // First-minimum semantics: strictly-less keeps the earliest way
+            // on ties, matching an LRU scan in way order.
+            if self.fill_done[i] <= now
+                && filled_lru.is_none_or(|b| self.last_use[i] < self.last_use[b])
+            {
+                filled_lru = Some(i);
+            }
+            if any_lru.is_none_or(|b| self.last_use[i] < self.last_use[b]) {
+                any_lru = Some(i);
+            }
         }
         // Every way is mid-fill (pathological): fall back to plain LRU.
-        ways.iter()
-            .enumerate()
-            .min_by_key(|(_, w)| w.last_use)
-            .map(|(i, _)| i)
-            // nvr-lint: allow(panic/hot-loop) reason="CacheConfig::validate rejects ways == 0, so min_by_key over a set's ways is total"
-            .expect("ways is non-empty")
+        // nvr-lint: allow(panic/hot-loop) reason="CacheConfig::validate rejects ways == 0, so the scan above always selects a way"
+        filled_lru.or(any_lru).expect("ways is non-empty")
     }
 
     /// Victim selection under [`RetentionPolicy::ScoredReuse`] — the
@@ -528,7 +591,7 @@ impl Cache {
     ///    "imminent" lines drains deterministically.
     ///
     /// The all-mid-fill pathological case falls back to [`Cache::pick_victim`]'s
-    /// plain-LRU behaviour.
+    /// plain-LRU behaviour. Returns SoA slot indices.
     fn pick_victim_scored(
         &self,
         set: usize,
@@ -536,34 +599,55 @@ impl Cache {
         incoming: u32,
         protect_active: bool,
     ) -> Result<usize, usize> {
-        let ways = &self.sets[set];
-        if let Some((i, _)) = ways.iter().enumerate().find(|(_, w)| !w.valid) {
-            return Ok(i);
+        let base = set * self.ways;
+        // Local set-sized slices: the scan runs once per install, and
+        // bounds-check-free indexing measurably matters there.
+        let flags = &self.flags[base..base + self.ways];
+        let fill_done = &self.fill_done[base..base + self.ways];
+        let reuse = &self.reuse[base..base + self.ways];
+        let last_use = &self.last_use[base..base + self.ways];
+        let mut exhausted_lru: Option<usize> = None;
+        // First pass: an invalid way is taken on sight, and an exhausted
+        // (reuse == 0) way preempts everything the second pass computes.
+        // Both are the common steady-state outcomes, so the expensive
+        // weakest-resident ranking below runs only when neither exists.
+        for i in 0..self.ways {
+            if flags[i] & F_VALID == 0 {
+                return Ok(base + i);
+            }
+            if fill_done[i] > now {
+                continue;
+            }
+            if reuse[i] == 0 && exhausted_lru.is_none_or(|b| last_use[i] < last_use[b]) {
+                exhausted_lru = Some(i);
+            }
         }
-        if let Some((i, _)) = ways
-            .iter()
-            .enumerate()
-            .filter(|(_, w)| w.fill_done <= now && w.reuse == 0)
-            .min_by_key(|(_, w)| w.last_use)
-        {
-            return Ok(i);
+        if let Some(i) = exhausted_lru {
+            return Ok(base + i);
         }
-        let active_window = |w: &Way| protect_active && w.from_prefetch && !w.demanded;
-        match ways
-            .iter()
-            .enumerate()
-            .filter(|(_, w)| w.fill_done <= now && !active_window(w))
-            .min_by_key(|(_, w)| (w.reuse, w.last_use))
-        {
-            Some((i, w)) if incoming > w.reuse => Ok(i),
-            Some((i, _)) => Err(i),
-            None => match ways
-                .iter()
-                .enumerate()
-                .filter(|(_, w)| w.fill_done <= now)
-                .min_by_key(|(_, w)| (w.reuse, w.last_use))
-            {
-                Some((i, _)) => Err(i),
+        let mut weakest_evictable: Option<usize> = None;
+        let mut weakest_filled: Option<usize> = None;
+        // Keys are (reuse, last_use) lexicographic with first-minimum
+        // semantics, matching a min_by_key scan in way order.
+        let weaker = |i: usize, b: usize| (reuse[i], last_use[i]) < (reuse[b], last_use[b]);
+        for i in 0..self.ways {
+            if fill_done[i] > now {
+                continue;
+            }
+            let active_window =
+                protect_active && flags[i] & (F_PREFETCH | F_DEMANDED) == F_PREFETCH;
+            if !active_window && weakest_evictable.is_none_or(|b| weaker(i, b)) {
+                weakest_evictable = Some(i);
+            }
+            if weakest_filled.is_none_or(|b| weaker(i, b)) {
+                weakest_filled = Some(i);
+            }
+        }
+        match weakest_evictable {
+            Some(i) if incoming > reuse[i] => Ok(base + i),
+            Some(i) => Err(base + i),
+            None => match weakest_filled {
+                Some(i) => Err(base + i),
                 None => Ok(self.pick_victim(set, now)),
             },
         }
@@ -581,10 +665,8 @@ impl Cache {
         if self.cfg.policy == RetentionPolicy::Lru {
             return;
         }
-        let set = self.set_index(line);
-        let tag = self.tag(line);
-        if let Some(w) = self.sets[set].iter_mut().find(|w| w.valid && w.tag == tag) {
-            w.reuse = w.reuse.max(reuse);
+        if let Some(i) = self.find_way(line) {
+            self.reuse[i] = self.reuse[i].max(reuse);
         }
     }
 
@@ -594,10 +676,9 @@ impl Cache {
     /// include prefetches that were still resident (and unused) at the end.
     pub fn finalize_stats(&mut self) {
         let unused = self
-            .sets
+            .flags
             .iter()
-            .flatten()
-            .filter(|w| w.valid && w.from_prefetch && !w.demanded)
+            .filter(|&&f| f & (F_VALID | F_PREFETCH | F_DEMANDED) == F_VALID | F_PREFETCH)
             .count() as u64;
         self.stats.prefetch_resident_unused.add(unused);
     }
@@ -753,6 +834,23 @@ mod tests {
     }
 
     #[test]
+    fn mshr_free_at_selects_pending_rank_beyond_capacity() {
+        // The inflight file can transiently exceed mshr_entries when a
+        // stalled demand installs at `now` with a future issue slot; the
+        // freeing rank is then the (pending - entries + 1)-th completion.
+        let mut c = tiny_cache(4, 4); // mshr_entries = 2
+        c.install(LineAddr::new(1), 100, false, 0);
+        c.install(LineAddr::new(2), 120, false, 0);
+        c.install(LineAddr::new(3), 110, false, 0); // grows the file to 3
+        assert_eq!(c.mshr_pending(0), 3);
+        // Ranks at 100, 110, 120: with 2 entries, a slot frees at the
+        // 2nd-smallest pending completion.
+        assert_eq!(c.mshr_free_at(0), 110);
+        assert_eq!(c.mshr_free_at(105), 110);
+        assert_eq!(c.mshr_free_at(110), 110);
+    }
+
+    #[test]
     fn finalize_counts_resident_unused_prefetches() {
         let mut c = tiny_cache(2, 2);
         c.install(LineAddr::new(1), 0, true, 0);
@@ -772,6 +870,20 @@ mod tests {
         }
         for i in 0..sets {
             assert!(c.contains(LineAddr::new(i)));
+        }
+        assert_eq!(c.stats().evictions.get(), 0);
+    }
+
+    #[test]
+    fn non_power_of_two_set_count_uses_division_path() {
+        // 3 sets: the mask/shift fast path must not engage.
+        let mut c = tiny_cache(2, 3);
+        assert_eq!(c.config().sets(), 3);
+        for i in 0..6u64 {
+            c.install(LineAddr::new(i), 0, false, 0);
+        }
+        for i in 0..6u64 {
+            assert!(c.contains(LineAddr::new(i)), "line {i}");
         }
         assert_eq!(c.stats().evictions.get(), 0);
     }
@@ -888,5 +1000,26 @@ mod tests {
         assert!(c.contains(LineAddr::new(7)));
         assert!(!c.contains(LineAddr::new(9)));
         assert_eq!(&before, c.stats());
+    }
+
+    #[test]
+    fn swap_life_events_recycles_buffers() {
+        let mut c = tiny_cache(2, 2);
+        c.enable_life_log();
+        c.install(LineAddr::new(1), 10, true, 0);
+        let mut buf = Vec::new();
+        c.swap_life_events(&mut buf);
+        assert_eq!(buf.len(), 1, "issued event drained");
+        buf.clear();
+        c.swap_life_events(&mut buf);
+        assert!(buf.is_empty(), "second drain is empty");
+        // Without the log enabled the swap is a no-op.
+        let mut off = tiny_cache(2, 2);
+        let mut keep = vec![PrefetchLifeEvent::EvictedUnused {
+            line: LineAddr::new(9),
+            at: 1,
+        }];
+        off.swap_life_events(&mut keep);
+        assert_eq!(keep.len(), 1);
     }
 }

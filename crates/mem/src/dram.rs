@@ -219,21 +219,17 @@ impl DramBackend {
     /// at `now`.
     #[must_use]
     pub fn prefetch_queue_len(&self, line: LineAddr, now: Cycle) -> usize {
-        self.lanes[self.channel_of(line)]
-            .pf_queue
-            .iter()
-            .filter(|&&s| s > now)
-            .count()
+        // The queue is bounded by `queue_depth` (single digits), where a
+        // straight count beats a binary search.
+        let q = &self.lanes[self.channel_of(line)].pf_queue;
+        q.iter().filter(|&&s| s > now).count()
     }
 
-    /// Splits `bytes` evenly across the channels (dense traffic stripes),
-    /// returning per-channel shares with the remainder spread over the
-    /// leading channels.
-    fn stripe(&self, bytes: u64) -> Vec<u64> {
+    /// Per-channel share of `bytes` under even striping (dense traffic),
+    /// with the remainder spread over the leading channels.
+    fn stripe_share(&self, bytes: u64, ch: usize) -> u64 {
         let n = self.cfg.channels as u64;
-        (0..n)
-            .map(|i| bytes / n + u64::from(i < bytes % n))
-            .collect()
+        bytes / n + u64::from((ch as u64) < bytes % n)
     }
 
     /// Streams `bytes` of dense DMA read traffic (scratchpad fills),
@@ -244,7 +240,8 @@ impl DramBackend {
             return now;
         }
         let mut done = now;
-        for (ch, share) in self.stripe(bytes).into_iter().enumerate() {
+        for ch in 0..self.cfg.channels {
+            let share = self.stripe_share(bytes, ch);
             if share == 0 {
                 continue;
             }
@@ -264,7 +261,8 @@ impl DramBackend {
             return now;
         }
         let mut done = now;
-        for (ch, share) in self.stripe(bytes).into_iter().enumerate() {
+        for ch in 0..self.cfg.channels {
+            let share = self.stripe_share(bytes, ch);
             if share == 0 {
                 continue;
             }
@@ -274,6 +272,25 @@ impl DramBackend {
         }
         self.stats.write_bytes.add(bytes);
         done
+    }
+
+    /// Earliest scheduled start, strictly after `now`, among every
+    /// channel's queued speculative transfers — the next moment a queue
+    /// position opens on its own. `None` when no channel has a queued
+    /// transfer still waiting. Event-driven issuers combine this with the
+    /// speculative MSHR completions to skip cycles where a back-pressured
+    /// retry would be futile.
+    #[must_use]
+    pub fn next_pf_queue_start(&self, now: Cycle) -> Option<Cycle> {
+        // Per-lane queues are ascending: the earliest pending start in
+        // each is the first entry past `now`.
+        self.lanes
+            .iter()
+            .filter_map(|lane| {
+                let i = lane.pf_queue.partition_point(|&s| s <= now);
+                lane.pf_queue.get(i).copied()
+            })
+            .min()
     }
 
     /// Aggregate utilisation over `elapsed` cycles: total busy cycles as

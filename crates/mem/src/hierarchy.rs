@@ -67,7 +67,9 @@ pub struct MemorySystem {
     nsb: Option<Cache>,
     l2: Cache,
     dram: DramBackend,
-    /// Outstanding speculative fills (the dedicated prefetch MSHR file).
+    /// Outstanding speculative fills (the dedicated prefetch MSHR file),
+    /// kept in ascending completion order so occupancy queries are a
+    /// binary search rather than a scan.
     pf_inflight: Vec<Cycle>,
     ideal: bool,
 }
@@ -127,6 +129,20 @@ impl MemorySystem {
     #[must_use]
     pub fn prefetch_channel_ready(&self, line: LineAddr, now: Cycle) -> bool {
         self.ideal || self.dram.prefetch_ready(line, now)
+    }
+
+    /// The DRAM channel that carries `line`'s fills. Issue loops use this
+    /// to memoise [`MemorySystem::prefetch_channel_ready`] per channel
+    /// instead of re-walking the same channel queue for every queued line.
+    #[must_use]
+    pub fn channel_of(&self, line: LineAddr) -> usize {
+        self.dram.channel_of(line)
+    }
+
+    /// Number of independent DRAM channels.
+    #[must_use]
+    pub fn channel_count(&self) -> usize {
+        self.cfg.dram.channels
     }
 
     /// A demand load of one cache line at cycle `now`.
@@ -354,16 +370,24 @@ impl MemorySystem {
     /// file back-pressures instead of dropping elements.
     #[must_use]
     pub fn prefetch_slots(&self, now: Cycle) -> usize {
-        let pending = self.pf_inflight.iter().filter(|&&c| c > now).count();
+        let pending = self.pf_inflight.len() - self.pf_inflight.partition_point(|&c| c <= now);
         self.cfg.prefetch_mshrs.saturating_sub(pending)
     }
 
-    /// Records a speculative fill in the prefetch MSHR file.
+    /// Records a speculative fill in the prefetch MSHR file, pruning
+    /// completed entries and keeping the file sorted (fills land in
+    /// near-monotone order, so the common case is a plain push).
     fn track_prefetch(&mut self, fill_done: Cycle, now: Cycle) {
-        if let Some(slot) = self.pf_inflight.iter_mut().find(|c| **c <= now) {
-            *slot = fill_done;
-        } else {
-            self.pf_inflight.push(fill_done);
+        let done = self.pf_inflight.partition_point(|&c| c <= now);
+        if done > 0 {
+            self.pf_inflight.drain(..done);
+        }
+        match self.pf_inflight.last() {
+            Some(&last) if last > fill_done => {
+                let pos = self.pf_inflight.partition_point(|&c| c <= fill_done);
+                self.pf_inflight.insert(pos, fill_done);
+            }
+            _ => self.pf_inflight.push(fill_done),
         }
     }
 
@@ -381,6 +405,33 @@ impl MemorySystem {
     /// occurrence order. Empty when the log was never enabled.
     pub fn take_prefetch_life_events(&mut self) -> Vec<crate::cache::PrefetchLifeEvent> {
         self.l2.take_life_events()
+    }
+
+    /// Exchanges the L2's recorded lifetime events with the caller's
+    /// (cleared) buffer — the allocation-free form of
+    /// [`MemorySystem::take_prefetch_life_events`] for per-advance drains.
+    pub fn swap_prefetch_life_events(&mut self, buf: &mut Vec<crate::cache::PrefetchLifeEvent>) {
+        self.l2.swap_life_events(buf);
+    }
+
+    /// Earliest cycle strictly after `now` at which the prefetch path can
+    /// change state on its own: a speculative fill completes (freeing a
+    /// slot of the dedicated MSHR file) or a queued channel request
+    /// reaches the bus (easing per-channel back-pressure). `None` when
+    /// nothing speculative is in motion. Event-driven issuers use this to
+    /// skip dead cycles: between `now` and the returned cycle, an issue
+    /// attempt that found no free slot or a full channel would keep
+    /// finding the same thing.
+    #[must_use]
+    pub fn next_prefetch_wakeup(&self, now: Cycle) -> Option<Cycle> {
+        let pending = self.pf_inflight.partition_point(|&c| c <= now);
+        let mshr = self.pf_inflight.get(pending).copied();
+        let queue = self.dram.next_pf_queue_start(now);
+        match (mshr, queue) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (Some(a), None) => Some(a),
+            (None, b) => b,
+        }
     }
 
     /// Cycle at which `line`'s data becomes readable on chip, if resident

@@ -15,6 +15,8 @@
 //! * a locked mapping is verified against later misses and unlocked on
 //!   repeated mismatch, so a workload phase change retrains.
 
+use std::collections::VecDeque;
+
 use nvr_common::{Addr, Cycle};
 use nvr_mem::MemorySystem;
 use nvr_trace::{AccessEvent, EventKind, MemoryImage, SnoopState};
@@ -77,8 +79,10 @@ pub struct ImpPrefetcher {
     cfg: ImpConfig,
     /// Stride tracking of the index-load address stream.
     index_stride: StrideEntry,
-    /// Recently observed index values (for correlation learning).
-    recent_values: Vec<u32>,
+    /// Recently observed index values (for correlation learning). A ring
+    /// buffer: one arrives per index load, so evicting the oldest must not
+    /// shift the other 31.
+    recent_values: VecDeque<u32>,
     candidates: Vec<Candidate>,
     locked: Option<Mapping>,
     mismatches: u32,
@@ -91,7 +95,7 @@ impl ImpPrefetcher {
         ImpPrefetcher {
             cfg,
             index_stride: StrideEntry::new(),
-            recent_values: Vec::new(),
+            recent_values: VecDeque::with_capacity(33),
             candidates: Vec::new(),
             locked: None,
             mismatches: 0,
@@ -171,9 +175,9 @@ impl Prefetcher for ImpPrefetcher {
         match event.kind {
             EventKind::IndexLoad { value } => {
                 self.index_stride.update(event.addr);
-                self.recent_values.push(value);
+                self.recent_values.push_back(value);
                 if self.recent_values.len() > 32 {
-                    self.recent_values.remove(0);
+                    self.recent_values.pop_front();
                 }
                 // Stream part: keep the index array itself flowing.
                 if let Some(pred) = self.index_stride.predict(1) {

@@ -33,10 +33,12 @@
 pub mod pool;
 
 use std::fmt;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use nvr_common::DataWidth;
 use nvr_mem::MemoryConfig;
+use nvr_trace::NpuProgram;
 use nvr_workloads::{Scale, TileOrder, WorkloadId, WorkloadSpec};
 
 use crate::report::{fmt3, Table};
@@ -173,7 +175,16 @@ impl SweepJob {
             order: self.order,
         };
         let program = self.workload.build(&spec);
-        run_system_tuned(&program, &self.mem_cfg, self.system, self.nsb_admit)
+        self.run_with_program(&program)
+    }
+
+    /// Runs the cell against a pre-built `program` (which must be the
+    /// job's own (workload, scale, order, width, seed) build). The sweep
+    /// uses this to build each unique program once and share it across the
+    /// system axis instead of regenerating it per cell.
+    #[must_use]
+    pub fn run_with_program(&self, program: &NpuProgram) -> RunOutcome {
+        run_system_tuned(program, &self.mem_cfg, self.system, self.nsb_admit)
     }
 }
 
@@ -194,6 +205,9 @@ pub struct SweepCell {
 pub struct SweepResults {
     /// All cells, in the spec's deterministic job order.
     pub cells: Vec<SweepCell>,
+    /// Worker count the sweep ran with (context for the timing CSV; never
+    /// part of the deterministic outputs).
+    pub jobs: usize,
     /// End-to-end wall clock of the whole sweep.
     pub wall: Duration,
 }
@@ -338,10 +352,34 @@ impl SweepResults {
         out
     }
 
-    /// Per-cell wall-clock CSV (host-dependent; keep out of diffs).
+    /// Per-cell wall-clock CSV (host-dependent; keep out of diffs). The
+    /// leading `#` comment line records the worker count, the scale axis,
+    /// and the git revision (`NVR_GIT_REV`, falling back to CI's
+    /// `GITHUB_SHA`), so archived timing CSVs from different runs are
+    /// comparable.
     #[must_use]
     pub fn timing_csv(&self) -> String {
-        let mut out = String::from("key,wall_us\n");
+        let rev = std::env::var("NVR_GIT_REV")
+            .or_else(|_| std::env::var("GITHUB_SHA"))
+            .unwrap_or_else(|_| "unknown".into());
+        let mut scales: Vec<String> = Vec::new();
+        for c in &self.cells {
+            let s = c.job.scale.to_string();
+            if !scales.contains(&s) {
+                scales.push(s);
+            }
+        }
+        let mut out = format!(
+            "# jobs={} scales={} git_rev={}\n",
+            self.jobs,
+            if scales.is_empty() {
+                "-".into()
+            } else {
+                scales.join("+")
+            },
+            rev
+        );
+        out.push_str("key,wall_us\n");
         for c in &self.cells {
             out.push_str(&format!("{},{}\n", c.job.key(), c.wall.as_micros()));
         }
@@ -430,18 +468,50 @@ impl fmt::Display for SweepResults {
 }
 
 /// Runs every cell of `spec` over `jobs` workers.
+///
+/// Program construction is deduplicated: the system axis reuses one build
+/// per (workload, scale, order, width, seed) point — builds are pure
+/// functions of those axes, so sharing is output-invariant, and on the
+/// full seven-system grid it removes six of every seven builds.
 #[must_use]
 pub fn run_sweep(spec: &SweepSpec, jobs: usize) -> SweepResults {
     // nvr-lint: allow(determinism/wall-clock) reason="sweep-level wall clock feeds only timing_csv, never a simulation result"
     let t0 = Instant::now();
-    let tasks: Vec<_> = spec
-        .jobs()
+    let grid = spec.jobs();
+    // Map every job to its unique program point, in first-encounter order.
+    let mut unique: Vec<(WorkloadId, Scale, TileOrder, DataWidth, u64)> = Vec::new();
+    let mut prog_idx = Vec::with_capacity(grid.len());
+    for job in &grid {
+        let key = (job.workload, job.scale, job.order, job.width, job.seed);
+        let idx = unique.iter().position(|&k| k == key).unwrap_or_else(|| {
+            unique.push(key);
+            unique.len() - 1
+        });
+        prog_idx.push(idx);
+    }
+    let builders: Vec<_> = unique
         .into_iter()
-        .map(|job| {
+        .map(|(workload, scale, order, width, seed)| {
+            move || {
+                Arc::new(workload.build(&WorkloadSpec {
+                    width,
+                    seed,
+                    scale,
+                    order,
+                }))
+            }
+        })
+        .collect();
+    let programs = pool::run_ordered(builders, jobs);
+    let tasks: Vec<_> = grid
+        .into_iter()
+        .zip(prog_idx)
+        .map(|(job, idx)| {
+            let program = Arc::clone(&programs[idx]);
             move || {
                 // nvr-lint: allow(determinism/wall-clock) reason="per-cell wall clock lands in SweepCell::wall, excluded from deterministic CSVs"
                 let cell_t0 = Instant::now();
-                let outcome = job.run();
+                let outcome = job.run_with_program(&program);
                 SweepCell {
                     job,
                     outcome,
@@ -453,6 +523,7 @@ pub fn run_sweep(spec: &SweepSpec, jobs: usize) -> SweepResults {
     let cells = pool::run_ordered(tasks, jobs);
     SweepResults {
         cells,
+        jobs,
         wall: t0.elapsed(),
     }
 }

@@ -1,7 +1,5 @@
 //! The simulated memory image: real index data at real addresses.
 
-use std::collections::BTreeMap;
-
 use nvr_common::{Addr, Region};
 
 /// A sparse map of 32-bit words over the simulated address space.
@@ -27,8 +25,11 @@ use nvr_common::{Addr, Region};
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct MemoryImage {
-    /// Segment base address -> contents.
-    segments: BTreeMap<u64, Vec<u32>>,
+    /// `(base address, contents)`, sorted by base, non-overlapping.
+    /// Installation is rare (workload build time) while `read_u32` sits on
+    /// every simulated index access, so the store is a flat sorted vector
+    /// a lookup can binary-search without pointer chasing.
+    segments: Vec<(u64, Vec<u32>)>,
 }
 
 impl MemoryImage {
@@ -55,7 +56,8 @@ impl MemoryImage {
             !self.overlaps(Region::new(base, bytes)),
             "segment at {base} overlaps an existing segment"
         );
-        self.segments.insert(base.raw(), data);
+        let pos = self.segments.partition_point(|&(b, _)| b < base.raw());
+        self.segments.insert(pos, (base.raw(), data));
     }
 
     /// Whether `region` intersects any existing segment.
@@ -64,13 +66,14 @@ impl MemoryImage {
         if region.is_empty() {
             return false;
         }
-        // Candidate: the last segment starting at or before region end, plus
+        // Candidate: the last segment starting before region end, plus
         // any segment starting inside the region.
         let end = region.end().raw();
-        self.segments
-            .range(..end)
-            .next_back()
-            .is_some_and(|(&base, data)| base + data.len() as u64 * 4 > region.start().raw())
+        let idx = self.segments.partition_point(|&(b, _)| b < end);
+        idx > 0 && {
+            let (base, data) = &self.segments[idx - 1];
+            base + data.len() as u64 * 4 > region.start().raw()
+        }
     }
 
     /// Reads the `u32` at `addr`.
@@ -109,11 +112,12 @@ impl MemoryImage {
     /// Total bytes covered by installed segments.
     #[must_use]
     pub fn segment_bytes(&self) -> u64 {
-        self.segments.values().map(|d| d.len() as u64 * 4).sum()
+        self.segments.iter().map(|(_, d)| d.len() as u64 * 4).sum()
     }
 
     fn lookup(&self, addr: Addr) -> Option<u32> {
-        let (&base, data) = self.segments.range(..=addr.raw()).next_back()?;
+        let idx = self.segments.partition_point(|&(b, _)| b <= addr.raw());
+        let (base, data) = self.segments.get(idx.wrapping_sub(1))?;
         let off = addr.raw() - base;
         data.get((off / 4) as usize).copied()
     }

@@ -50,6 +50,17 @@ impl Graph {
         let n_edges = (nodes as f64 * avg_degree) as usize;
 
         let mut adj: Vec<Vec<u32>> = vec![Vec::new(); nodes];
+        // Duplicate detection: a dense src×dst bit matrix when it fits
+        // (the GNN graphs are ≤8192 nodes, so ≤8 MB transient) makes the
+        // membership test O(1) and placement a plain push; larger graphs
+        // fall back to sorted lists with binary-search insertion. Both
+        // paths give identical membership answers, so the rng sequence,
+        // placed count, and final CSR are unchanged either way.
+        let mut bits = if nodes <= 8192 {
+            vec![0u64; (nodes * nodes).div_ceil(64)]
+        } else {
+            Vec::new()
+        };
         let mut placed = 0usize;
         let mut guard = 0usize;
         while placed < n_edges && guard < n_edges * 8 {
@@ -82,11 +93,28 @@ impl Graph {
             }
             let (src, dst) = (lo_r, lo_c);
             if src < nodes && dst < nodes && src != dst {
-                let list = &mut adj[src];
-                if !list.contains(&(dst as u32)) {
-                    list.push(dst as u32);
-                    placed += 1;
+                if bits.is_empty() {
+                    let list = &mut adj[src];
+                    if let Err(pos) = list.binary_search(&(dst as u32)) {
+                        list.insert(pos, dst as u32);
+                        placed += 1;
+                    }
+                } else {
+                    let bit = src * nodes + dst;
+                    let mask = 1u64 << (bit % 64);
+                    if bits[bit / 64] & mask == 0 {
+                        bits[bit / 64] |= mask;
+                        adj[src].push(dst as u32);
+                        placed += 1;
+                    }
                 }
+            }
+        }
+        if !bits.is_empty() {
+            // Bitset placement appends in sample order; restore the sorted
+            // adjacency the binary-search path builds directly.
+            for list in &mut adj {
+                list.sort_unstable();
             }
         }
         // Ensure no isolated nodes: give each a self-adjacent ring edge.
@@ -94,7 +122,6 @@ impl Graph {
             if list.is_empty() {
                 list.push(((i + 1) % nodes) as u32);
             }
-            list.sort_unstable();
         }
 
         let mut offsets = Vec::with_capacity(nodes + 1);

@@ -153,3 +153,143 @@ fn parallel_sweep_matches_serial_bit_for_bit() {
     // And the canonical CSV renditions are byte-identical.
     assert_eq!(serial.to_csv(), parallel.to_csv());
 }
+
+/// Pinned result fingerprints for every system on one graph workload and
+/// one attention workload.
+///
+/// The simulator's hot paths are data-layout- and scheduling-optimised
+/// (SoA cache metadata, sorted MSHR files, event-driven issue skipping,
+/// open-addressed bookkeeping maps); none of that may move a single
+/// counter. This table is the seed behaviour, captured before those
+/// rewrites: cycles, hit/miss splits, DRAM traffic, prefetch usefulness
+/// and the full timeliness outcome, per system. A mismatch means a
+/// "performance" change altered simulation semantics — exactly the
+/// regression this suite exists to catch. (The perf gate's
+/// `sim_cycles_total` check covers the whole grid's cycle sum; this test
+/// pins the per-system, per-counter decomposition.)
+#[test]
+fn optimised_hot_paths_match_seed_fingerprints() {
+    // Columns: workload, system, total_cycles, base_cycles,
+    // l2_demand_misses, l2_demand_hits, dram_demand_lines,
+    // l2_prefetch_issued, l2_prefetch_useful, timely, late,
+    // evicted_unused, slack_sum.
+    const GOLDEN: &[(&str, &str, [u64; 11])] = &[
+        (
+            "GCN",
+            "InO",
+            [331088, 50435, 18542, 3009, 18542, 0, 0, 0, 0, 0, 0],
+        ),
+        (
+            "GCN",
+            "OoO",
+            [244120, 42440, 18546, 3001, 18546, 0, 0, 0, 0, 0, 0],
+        ),
+        (
+            "GCN",
+            "Stream",
+            [327376, 50435, 18197, 3160, 18197, 523, 364, 0, 0, 0, 0],
+        ),
+        (
+            "GCN",
+            "IMP",
+            [324648, 50435, 17812, 3714, 17812, 1288, 812, 0, 0, 0, 0],
+        ),
+        (
+            "GCN",
+            "DVR",
+            [269000, 50435, 11578, 9967, 11578, 7771, 7096, 0, 0, 0, 0],
+        ),
+        (
+            "GCN",
+            "NVR",
+            [
+                190193, 50435, 5789, 8578, 5789, 12862, 12814, 5630, 7184, 47, 10622041,
+            ],
+        ),
+        (
+            "GCN",
+            "NVR+NSB",
+            [
+                189670, 45448, 5585, 3376, 5585, 12872, 4546, 5693, 7018, 160, 10439650,
+            ],
+        ),
+        (
+            "H2O",
+            "InO",
+            [71816, 16928, 2168, 4168, 2168, 0, 0, 0, 0, 0, 0],
+        ),
+        (
+            "H2O",
+            "OoO",
+            [49949, 12338, 2168, 4168, 2168, 0, 0, 0, 0, 0, 0],
+        ),
+        (
+            "H2O",
+            "Stream",
+            [71280, 16928, 2012, 4232, 2012, 157, 156, 0, 0, 0, 0],
+        ),
+        (
+            "H2O",
+            "IMP",
+            [67504, 16928, 1629, 4706, 1629, 735, 540, 0, 0, 0, 0],
+        ),
+        (
+            "H2O",
+            "DVR",
+            [68000, 16928, 1744, 4264, 1744, 498, 424, 0, 0, 0, 0],
+        ),
+        (
+            "H2O",
+            "NVR",
+            [
+                25167, 16928, 40, 5902, 40, 2135, 2128, 1734, 394, 0, 1837241,
+            ],
+        ),
+        (
+            "H2O",
+            "NVR+NSB",
+            [25241, 12896, 40, 253, 40, 2135, 281, 1454, 674, 0, 1630986],
+        ),
+    ];
+    let mut idx = 0;
+    for workload in [WorkloadId::Gcn, WorkloadId::H2o] {
+        let spec = WorkloadSpec {
+            width: DataWidth::Fp16,
+            seed: 777,
+            scale: Scale::Tiny,
+            order: TileOrder::Natural,
+        };
+        let program = workload.build(&spec);
+        for system in SystemKind::ALL {
+            let o = run_system(&program, &MemoryConfig::default(), system);
+            let m = &o.result.mem;
+            let t = o.timeliness.clone().unwrap_or_default();
+            let got = (
+                workload.short(),
+                system.label(),
+                [
+                    o.result.total_cycles,
+                    o.base_cycles,
+                    m.l2.demand_misses.get(),
+                    m.l2.demand_hits.get(),
+                    m.dram.demand_lines.get(),
+                    m.l2.prefetch_issued.get(),
+                    m.l2.prefetch_useful.get(),
+                    t.timely,
+                    t.late,
+                    t.evicted_unused,
+                    t.slack.sum(),
+                ],
+            );
+            assert_eq!(
+                got,
+                GOLDEN[idx],
+                "{} / {} deviates from the seed fingerprint",
+                workload.short(),
+                system.label()
+            );
+            idx += 1;
+        }
+    }
+    assert_eq!(idx, GOLDEN.len(), "every golden row must be exercised");
+}
